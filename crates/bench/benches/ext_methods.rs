@@ -1,0 +1,25 @@
+//! Extension bench: all four parallel scaling strategies at matched
+//! budgets (Section 2.1's method space), including the oracle bound.
+
+fn main() {
+    benchutil::banner(
+        "Extension - scaling method comparison at matched budgets (MATH500)",
+        "paper Section 2.1's method space; oracle = pass@N upper bound",
+    );
+    for model in [
+        edgellm::config::ModelId::Llama1B,
+        edgellm::config::ModelId::Qwen1_5B,
+    ] {
+        println!("\n{}", edgellm::config::ModelConfig::for_id(model).name);
+        println!(
+            "{:>8} {:>10} {:>12} {:>14} {:>9}",
+            "budget", "Best-of-N", "BeamSearch", "SelfConsist.", "oracle"
+        );
+        for r in npuscale::experiments::ext_method_comparison_rows(model, 11) {
+            println!(
+                "{:>8} {:>9.1}% {:>11.1}% {:>13.1}% {:>8.1}%",
+                r.budget, r.best_of_n_pct, r.beam_search_pct, r.self_consistency_pct, r.oracle_pct
+            );
+        }
+    }
+}

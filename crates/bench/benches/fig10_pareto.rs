@@ -1,0 +1,39 @@
+//! Figure 10: accuracy-latency trade-off of test-time scaling.
+
+use hexsim::device::DeviceProfile;
+use mathsynth::mathgen::DatasetKind;
+use npuscale::pareto::Method;
+
+fn main() {
+    benchutil::banner(
+        "Figure 10 - accuracy vs per-token decode latency",
+        "paper Fig 10: TTS series dominate larger base models",
+    );
+    for device in [DeviceProfile::v75(), DeviceProfile::v79()] {
+        for dataset in [DatasetKind::Math500Like, DatasetKind::Gsm8kLike] {
+            for method in [Method::BestOfN, Method::BeamSearch] {
+                println!(
+                    "\n--- {} - {} - {} ---",
+                    dataset.label(),
+                    device.arch.soc_label(),
+                    method.label()
+                );
+                println!(
+                    "{:<10} {:>7} {:>10} {:>14}",
+                    "series", "budget", "accuracy", "latency/token"
+                );
+                let rows =
+                    npuscale::experiments::fig10_rows(&device, dataset, method, 42);
+                for p in rows {
+                    println!(
+                        "{:<10} {:>7} {:>9.1}% {:>14}",
+                        p.series,
+                        p.budget,
+                        p.accuracy_pct,
+                        benchutil::fmt_secs(p.per_token_latency_s)
+                    );
+                }
+            }
+        }
+    }
+}

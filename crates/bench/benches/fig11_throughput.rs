@@ -1,0 +1,23 @@
+//! Figure 11: end-to-end decoding throughput vs batch size.
+
+fn main() {
+    benchutil::banner(
+        "Figure 11 - decode throughput vs batch across devices (ctx 1024)",
+        "paper Fig 11: throughput rises strongly but sublinearly with batch",
+    );
+    let rows = npuscale::experiments::fig11_rows();
+    let mut device = String::new();
+    for r in &rows {
+        if r.device != device {
+            device = r.device.clone();
+            println!("\n=== {device} ===");
+        }
+        match r.tokens_per_sec {
+            Some(tps) => println!("{:<6} batch {:>2}: {:>7.1} tok/s", r.model, r.batch, tps),
+            None => println!(
+                "{:<6} batch {:>2}: (does not fit: session VA limit)",
+                r.model, r.batch
+            ),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 12: power and energy during decode.
+
+fn main() {
+    benchutil::banner(
+        "Figure 12 - decode power and normalized energy (OnePlus 12)",
+        "paper Fig 12: <5 W; 1.5B rises with batch; 3B ~4.3 W",
+    );
+    let rows = npuscale::experiments::fig12_rows();
+    let mut base: Option<f64> = None;
+    let mut model = String::new();
+    println!(
+        "{:<6} {:>6} {:>9} {:>12} {:>13} {:>12}",
+        "model", "batch", "power", "E/step", "E/step norm", "E/token"
+    );
+    for p in &rows {
+        if p.model != model {
+            model = p.model.clone();
+            base = Some(p.step_energy_j);
+        }
+        println!(
+            "{:<6} {:>6} {:>7.2} W {:>10.3} J {:>13.2} {:>10.4} J",
+            p.model,
+            p.batch,
+            p.power_w,
+            p.step_energy_j,
+            p.step_energy_j / base.unwrap(),
+            p.energy_per_token_j
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 13: throughput comparison with the GPU and QNN baselines.
+
+fn main() {
+    benchutil::banner(
+        "Figure 13 - inference throughput vs llama.cpp-OpenCL and QNN FP16",
+        "paper Fig 13: GPU wins batch-1 decode; ours wins batched decode + prefill",
+    );
+    println!("--- decode (tok/s) ---");
+    let rows = npuscale::experiments::fig13_decode_rows();
+    println!(
+        "{:<18} {:<6} {:>6} {:>10}",
+        "system", "model", "batch", "tok/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:<6} {:>6} {:>10.1}",
+            r.system, r.model, r.batch, r.tokens_per_sec
+        );
+    }
+    println!("\n--- prefill (tok/s) ---");
+    let rows = npuscale::experiments::fig13_prefill_rows();
+    println!(
+        "{:<18} {:<6} {:>8} {:>10}",
+        "system", "model", "prompt", "tok/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:<6} {:>8} {:>10.1}",
+            r.system, r.model, r.prompt_len, r.tokens_per_sec
+        );
+    }
+}

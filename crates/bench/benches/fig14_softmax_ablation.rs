@@ -1,0 +1,22 @@
+//! Figure 14: on-chip softmax latency per exponential implementation.
+
+fn main() {
+    benchutil::banner(
+        "Figure 14 - softmax latency: F32 exp vs F16 exp vs LUT16 exp (V75)",
+        "paper Fig 14: LUT16 1.26-2.19x vs F32, up to 1.60x vs F16",
+    );
+    println!(
+        "{:>7} {:>5} {:<10} {:>12} {:>14}",
+        "Nkv", "Nq", "method", "latency", "LUT16 speedup"
+    );
+    for r in npuscale::experiments::fig14_rows() {
+        println!(
+            "{:>7} {:>5} {:<10} {:>12} {:>13.2}x",
+            r.nkv,
+            r.nq,
+            r.method,
+            benchutil::fmt_secs(r.latency_us * 1e-6),
+            r.lut_speedup
+        );
+    }
+}

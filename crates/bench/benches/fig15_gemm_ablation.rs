@@ -1,0 +1,46 @@
+//! Figure 15: dequantization-based GEMV latency ablation.
+
+fn main() {
+    benchutil::banner(
+        "Figure 15 - GEMV dequantization ablation (V75)",
+        "paper Fig 15: ours 9.65-19.04x vs baseline; ~27% off the no-dequant bound",
+    );
+    println!(
+        "{:<16} {:<14} {:>12} {:>14}",
+        "config", "variant", "latency", "ours speedup"
+    );
+    let rows = npuscale::experiments::fig15_rows();
+    let mut cfg = String::new();
+    let mut base_ratios = Vec::new();
+    let mut bound_ratios = Vec::new();
+    for r in &rows {
+        if r.config != cfg {
+            cfg = r.config.clone();
+            println!();
+        }
+        println!(
+            "{:<16} {:<14} {:>12} {:>13.2}x",
+            r.config,
+            r.variant,
+            benchutil::fmt_secs(r.latency_us * 1e-6),
+            r.ours_speedup
+        );
+        if r.variant == "baseline" {
+            base_ratios.push(r.ours_speedup);
+        }
+        if r.variant == "no dequant." {
+            bound_ratios.push(1.0 / r.ours_speedup);
+        }
+    }
+    let avg =
+        |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nspeedup vs baseline: {:.2}-{:.2}x (paper 9.65-19.04x)",
+        base_ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+        base_ratios.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "mean slowdown vs no-dequant bound: {:.0}% (paper ~27%)",
+        (avg(&bound_ratios) - 1.0) * 100.0
+    );
+}

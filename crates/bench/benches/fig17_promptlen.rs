@@ -1,0 +1,18 @@
+//! Figure 17: impact of prompt length on decoding throughput.
+
+fn main() {
+    benchutil::banner(
+        "Figure 17 - decode throughput vs prompt length",
+        "paper Fig 17: mild decline from 512 to 4096 tokens",
+    );
+    println!(
+        "{:<6} {:>8} {:>6} {:>10}",
+        "model", "prompt", "batch", "tok/s"
+    );
+    for r in npuscale::experiments::fig17_rows() {
+        println!(
+            "{:<6} {:>8} {:>6} {:>10.1}",
+            r.model, r.prompt_len, r.batch, r.tokens_per_sec
+        );
+    }
+}

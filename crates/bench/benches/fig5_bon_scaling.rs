@@ -1,0 +1,18 @@
+//! Figure 5: Best-of-N accuracy vs generation budget on MATH500.
+
+fn main() {
+    benchutil::banner(
+        "Figure 5 - Best-of-N scaling on MATH500",
+        "paper Fig 5: accuracy climbs with budget, ~20%->~50% (L1)",
+    );
+    let rows = npuscale::experiments::fig5_rows(11);
+    let mut current = String::new();
+    for r in &rows {
+        if r.model != current {
+            current = r.model.clone();
+            println!("\n{current}");
+            println!("{:>8} {:>10}", "budget", "accuracy");
+        }
+        println!("{:>8} {:>9.1}%", r.budget, r.accuracy_pct);
+    }
+}

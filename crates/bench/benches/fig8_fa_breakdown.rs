@@ -1,0 +1,18 @@
+//! Figure 8: FlashAttention latency breakdown on the simulated NPU.
+
+fn main() {
+    benchutil::banner(
+        "Figure 8 - FlashAttention latency breakdown (Qwen2.5-1.5B, prompt 4096)",
+        "paper Fig 8: load/store 58.3% at q=4 shrinking to 11.3%; softmax to 84.6%",
+    );
+    println!(
+        "{:>6} {:>14} {:>10} {:>10}",
+        "q", "QKVO ld/st", "MatMul", "Softmax"
+    );
+    for r in npuscale::experiments::fig8_rows() {
+        println!(
+            "{:>6} {:>13.1}% {:>9.1}% {:>9.1}%",
+            r.q_len, r.load_store_pct, r.matmul_pct, r.softmax_pct
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks of the functional simulator kernels.
+//!
+//! Unlike the figure/table harnesses (which report *simulated device*
+//! latencies), these measure the host-side execution speed of the
+//! bit-exact functional paths — useful when optimizing the simulator
+//! itself and as a regression guard for the hot loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hexsim::f16::F16;
+use hexsim::prelude::*;
+use htpops::dequant::{dequant_super_q4_lut, DequantEnv};
+use htpops::exp_lut::{ExpLut16, ExpMethod};
+use htpops::softmax::{softmax_rows, SoftmaxConfig};
+use tilequant::block::BlockQ4_0;
+use tilequant::super_group::SuperBlockQ4;
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f16");
+    group.throughput(Throughput::Elements(4096));
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32) * 0.37 - 700.0).collect();
+    group.bench_function("from_f32_rtne_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &values {
+                acc = acc.wrapping_add(F16::from_f32(std::hint::black_box(v)).0 as u32);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_lut_dequant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dequant");
+    group.throughput(Throughput::Elements(256));
+    let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+    let env = DequantEnv::new(&mut ctx);
+    let blocks: [BlockQ4_0; 8] = std::array::from_fn(|g| {
+        let vals: Vec<f32> = (0..32).map(|i| ((g * 32 + i) as f32 * 0.11).sin()).collect();
+        BlockQ4_0::quantize(&vals)
+    });
+    let sb = SuperBlockQ4::from_blocks(&blocks);
+    let src = ctx.tcm_alloc(256, 128).unwrap();
+    let dst = ctx.tcm_alloc(512, 128).unwrap();
+    ctx.tcm_poke(src, &sb.to_bytes());
+    group.bench_function("super_q4_lut_256_elems", |b| {
+        b.iter(|| dequant_super_q4_lut(&mut ctx, &env, src, dst))
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    group.throughput(Throughput::Elements(4 * 1024));
+    let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+    let lut = ExpLut16::build(&mut ctx).unwrap();
+    let data = ctx.tcm_alloc(4 * 1024 * 2, 128).unwrap();
+    let mut bytes = vec![0u8; 4 * 1024 * 2];
+    for i in 0..4 * 1024 {
+        let v = F16::from_f32(-((i % 97) as f32) / 10.0);
+        bytes[2 * i..2 * i + 2].copy_from_slice(&v.0.to_le_bytes());
+    }
+    ctx.tcm_poke(data, &bytes);
+    for method in [ExpMethod::F32Poly, ExpMethod::F16Poly, ExpMethod::Lut16] {
+        group.bench_function(format!("rows4_cols1024_{method:?}"), |b| {
+            b.iter(|| {
+                softmax_rows(
+                    &mut ctx,
+                    &lut,
+                    SoftmaxConfig {
+                        rows: 4,
+                        cols: 1024,
+                        method,
+                    },
+                    data,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmx_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmx");
+    group.throughput(Throughput::Elements(32 * 32 * 32));
+    let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+    let act = ctx.tcm_alloc(2048, 2048).unwrap();
+    let wgt = ctx.tcm_alloc(2048, 2048).unwrap();
+    let mut tile = [[F16::ZERO; 32]; 32];
+    for (r, row) in tile.iter_mut().enumerate() {
+        for (cc, v) in row.iter_mut().enumerate() {
+            *v = F16::from_f32(((r * 31 + cc) % 17) as f32 * 0.25 - 2.0);
+        }
+    }
+    let packed = hexsim::hmx::pack_tile(&tile);
+    ctx.tcm_poke(act, &packed);
+    ctx.tcm_poke(wgt, &packed);
+    group.bench_function("tile_matmul_32x32x32", |b| {
+        b.iter(|| {
+            let mut acc = hexsim::hmx::HmxAccumulator::new();
+            ctx.hmx_matmul(&mut acc, act, wgt);
+            acc.0[0][0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_f16_conversion, bench_lut_dequant, bench_softmax, bench_hmx_tile
+}
+criterion_main!(benches);

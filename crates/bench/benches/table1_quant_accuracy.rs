@@ -1,0 +1,21 @@
+//! Table 1: per-group (AWQ) vs per-channel (QNN) W4A16 accuracy.
+
+fn main() {
+    benchutil::banner(
+        "Table 1 - quantization scheme vs reasoning accuracy (Llama3.2-1B)",
+        "paper Table 1: AWQ 15.9/32.6/19.42 vs QNN 2.1/3.4/28.99",
+    );
+    let rows = npuscale::experiments::table1_rows(7);
+    println!(
+        "{:<28} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "scheme", "rmse_rel", "MATH500", "GSM8K", "logitKL", "PPL(map)"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>10.4} {:>8.1}% {:>8.1}% {:>9.3} {:>10.2}",
+            r.scheme, r.weight_rmse_rel, r.math500_pct, r.gsm8k_pct, r.logit_kl, r.wiki_ppl_mapped
+        );
+    }
+    println!("\npaper:   AutoAWQ  MATH500 15.9  GSM8K 32.6  Wiki PPL 19.42");
+    println!("paper:   QNN      MATH500  2.1  GSM8K  3.4  Wiki PPL 28.99");
+}

@@ -1,0 +1,24 @@
+//! Table 2: HVX vs HMX unit performance, plus the Table 3 device list.
+
+fn main() {
+    benchutil::banner(
+        "Table 2 - HVX vs HMX FP16 GEMM and read bandwidth (V75)",
+        "paper Table 2: HVX 32.93 GFLOPS / 26 GB/s; HMX 12032.54 GFLOPS / 60 GB/s",
+    );
+    for r in npuscale::experiments::table2_rows() {
+        println!(
+            "{:<16} GEMM {:>9.2} GFLOPS   read {:>6.1} GB/s",
+            r.unit, r.gemm_gflops, r.read_bw_gbs
+        );
+    }
+    benchutil::banner("Table 3 - evaluation devices", "paper Table 3");
+    for d in hexsim::device::DeviceProfile::all() {
+        println!(
+            "{:<18} {:<22} NPU {:?} ({})",
+            d.name,
+            d.soc,
+            d.arch,
+            d.arch.soc_label()
+        );
+    }
+}

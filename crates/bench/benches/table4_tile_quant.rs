@@ -1,0 +1,18 @@
+//! Table 4: tile-group vs conventional-group vs F16 accuracy.
+
+fn main() {
+    benchutil::banner(
+        "Table 4 - tile quantization groups vs conventional groups vs F16",
+        "paper Table 4: 62.56/63.35/64.61 WinoGrande; 35.47/35.27/34.82 MMLU",
+    );
+    println!(
+        "{:<20} {:>10} {:>12} {:>8} {:>10}",
+        "variant", "rmse_rel", "WinoGrande", "MMLU", "tiny PPL"
+    );
+    for r in npuscale::experiments::table4_rows(3) {
+        println!(
+            "{:<20} {:>10.5} {:>11.1}% {:>7.1}% {:>10.2}",
+            r.variant, r.weight_rmse_rel, r.winogrande_pct, r.mmlu_pct, r.tiny_ppl
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Table 5: FP16 LUT FlashAttention vs F32 attention accuracy.
+
+fn main() {
+    benchutil::banner(
+        "Table 5 - LUT16 FP16 FlashAttention vs conventional F32 attention",
+        "paper Table 5: 62.80 vs 62.56 WinoGrande; 35.21 vs 35.47 MMLU (equivalent)",
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>8}",
+        "variant", "logit KL", "WinoGrande", "MMLU"
+    );
+    for r in npuscale::experiments::table5_rows(5) {
+        println!(
+            "{:<22} {:>10.5} {:>11.1}% {:>7.1}%",
+            r.variant, r.logit_kl, r.winogrande_pct, r.mmlu_pct
+        );
+    }
+}

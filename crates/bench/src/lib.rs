@@ -1,0 +1,33 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every `[[bench]]` target regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index) by calling the corresponding
+//! `npuscale::experiments` row generator and printing the rows in the
+//! layout the paper reports. Run all of them with `cargo bench`.
+
+/// Prints a section banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("==================================================================");
+}
+
+/// Formats seconds as an adaptive human unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Wall-clock timing of the harness itself (host time, not simulated).
+pub fn host_timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}

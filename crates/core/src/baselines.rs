@@ -1,0 +1,175 @@
+//! Analytic baselines for Figure 13: llama.cpp's OpenCL backend on the
+//! Adreno GPU, and QNN's FP16 deployment.
+//!
+//! Neither baseline can be rebuilt from source here (one targets real
+//! Adreno silicon, the other is closed), so both are modelled as rooflines
+//! with constants taken from public Adreno 750 specifications and the
+//! paper's measured curves. What matters for the reproduction are the
+//! *crossovers*: the GPU edges out the NPU at batch 1 but saturates early,
+//! and QNN's FP16 prefill is comparable to ours while its decode pays the
+//! 3.6x weight-size penalty of FP16 over Q4.
+
+use edgellm::config::{ModelConfig, ModelId};
+use serde::{Deserialize, Serialize};
+
+/// llama.cpp OpenCL (Adreno GPU) baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GpuBaseline {
+    /// Effective memory bandwidth achieved by the Q4_0 GEMV kernels, B/s.
+    /// (Shared LPDDR5x peaks near 70 GB/s; mobile GPU kernels sustain a
+    /// fraction of it.)
+    pub eff_bw: f64,
+    /// Effective FP16/FP32 mixed GEMM throughput during decode, FLOP/s
+    /// (small-m kernels; llama.cpp's portable kernels sustain a few
+    /// percent of the Adreno 750's ~4.6 TFLOPS peak).
+    pub eff_flops: f64,
+    /// Effective GEMM throughput during prefill, FLOP/s (large-m kernels
+    /// are far more efficient).
+    pub eff_prefill_flops: f64,
+    /// Fixed per-step driver/dispatch overhead, seconds.
+    pub step_overhead: f64,
+}
+
+impl Default for GpuBaseline {
+    fn default() -> Self {
+        GpuBaseline {
+            eff_bw: 14.0e9,
+            eff_flops: 120.0e9,
+            eff_prefill_flops: 1.6e12,
+            step_overhead: 3.0e-3,
+        }
+    }
+}
+
+impl GpuBaseline {
+    /// Bytes the decoder streams per step (Q4_0 weights + KV).
+    fn step_bytes(cfg: &ModelConfig, batch: usize, ctx_len: usize) -> f64 {
+        let weights = cfg.npu_weight_bytes() as f64;
+        let kv = (2 * cfg.layers * cfg.kv_dim() * ctx_len * 2 * batch) as f64;
+        weights + kv
+    }
+
+    /// FLOPs per decode step.
+    fn step_flops(cfg: &ModelConfig, batch: usize) -> f64 {
+        // ~2 flops per weight per row, plus the vocabulary projection.
+        let body = 2.0 * (cfg.npu_weight_bytes() as f64 / 4.5 * 8.0);
+        let head = 2.0 * (cfg.vocab * cfg.hidden) as f64;
+        (body + head) * batch as f64
+    }
+
+    /// Decode throughput in tokens/second.
+    pub fn decode_tps(&self, model: ModelId, batch: usize, ctx_len: usize) -> f64 {
+        let cfg = ModelConfig::for_id(model);
+        let t_mem = Self::step_bytes(&cfg, batch, ctx_len) / self.eff_bw;
+        let t_compute = Self::step_flops(&cfg, batch) / self.eff_flops;
+        let step = t_mem.max(t_compute) + self.step_overhead;
+        batch as f64 / step
+    }
+
+    /// Prefill throughput in tokens/second.
+    pub fn prefill_tps(&self, model: ModelId, prompt_len: usize) -> f64 {
+        let cfg = ModelConfig::for_id(model);
+        // Compute-bound GEMM over the prompt + quadratic attention.
+        let body = 2.0 * (cfg.npu_weight_bytes() as f64 / 4.5 * 8.0) * prompt_len as f64;
+        let attn = 2.0 * (cfg.heads * cfg.head_dim) as f64
+            * (prompt_len * prompt_len) as f64
+            * cfg.layers as f64;
+        let t = (body + attn) / self.eff_prefill_flops + Self::step_bytes(&cfg, 1, 0) / self.eff_bw;
+        prompt_len as f64 / t
+    }
+}
+
+/// QNN FP16 deployment baseline (closed-source; static-graph NPU path).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QnnFp16Baseline {
+    /// Fraction of HMX peak QNN's FP16 prefill sustains.
+    pub prefill_efficiency: f64,
+    /// DMA bandwidth available to its FP16 decode, B/s.
+    pub dma_bw: f64,
+    /// HMX FP16 peak of the device, FLOP/s.
+    pub hmx_flops: f64,
+}
+
+impl Default for QnnFp16Baseline {
+    fn default() -> Self {
+        QnnFp16Baseline {
+            prefill_efficiency: 0.35,
+            dma_bw: 60.0e9,
+            hmx_flops: 12.03e12,
+        }
+    }
+}
+
+impl QnnFp16Baseline {
+    /// FP16 weight bytes of the model.
+    fn weight_bytes(cfg: &ModelConfig) -> f64 {
+        // Non-embedding parameters at 2 bytes each.
+        (cfg.npu_weight_bytes() as f64 / 4.5 * 8.0) * 2.0
+    }
+
+    /// Decode throughput (batch 1; QNN's static graphs preclude the
+    /// dynamic batching test-time scaling needs — the paper's motivation
+    /// for bypassing it).
+    pub fn decode_tps(&self, model: ModelId) -> f64 {
+        let cfg = ModelConfig::for_id(model);
+        let t = Self::weight_bytes(&cfg) / self.dma_bw;
+        1.0 / t
+    }
+
+    /// Prefill throughput in tokens/second.
+    pub fn prefill_tps(&self, model: ModelId, prompt_len: usize) -> f64 {
+        let cfg = ModelConfig::for_id(model);
+        let flops = 2.0 * (Self::weight_bytes(&cfg) / 2.0) * prompt_len as f64;
+        let t = flops / (self.hmx_flops * self.prefill_efficiency)
+            + Self::weight_bytes(&cfg) / self.dma_bw;
+        prompt_len as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_decode_is_memory_bound_at_batch_1() {
+        let gpu = GpuBaseline::default();
+        let tps = gpu.decode_tps(ModelId::Qwen1_5B, 1, 1024);
+        // Paper Figure 13: GPU ~12-15 tok/s at batch 1 on the 1.5B model.
+        assert!((8.0..20.0).contains(&tps), "gpu batch-1 {tps}");
+    }
+
+    #[test]
+    fn gpu_saturates_at_large_batch() {
+        let gpu = GpuBaseline::default();
+        let t1 = gpu.decode_tps(ModelId::Qwen1_5B, 1, 1024);
+        let t8 = gpu.decode_tps(ModelId::Qwen1_5B, 8, 1024);
+        let t16 = gpu.decode_tps(ModelId::Qwen1_5B, 16, 1024);
+        assert!(t8 > t1, "some batch benefit expected");
+        // Compute-bound saturation: 16 is barely better than 8.
+        assert!(t16 < t8 * 1.6, "t8 {t8} t16 {t16}");
+    }
+
+    #[test]
+    fn qnn_fp16_decode_pays_weight_size_penalty() {
+        let qnn = QnnFp16Baseline::default();
+        let tps = qnn.decode_tps(ModelId::Qwen1_5B);
+        // FP16 streams ~3.3 GB/step -> ~18 tok/s upper bound at 60 GB/s.
+        assert!((10.0..25.0).contains(&tps), "qnn decode {tps}");
+    }
+
+    #[test]
+    fn qnn_prefill_is_fast() {
+        let qnn = QnnFp16Baseline::default();
+        let tps = qnn.prefill_tps(ModelId::Qwen1_5B, 1024);
+        // Paper Figure 13: QNN FP16 prefill around 1000-1700 tok/s.
+        assert!((700.0..2500.0).contains(&tps), "qnn prefill {tps}");
+    }
+
+    #[test]
+    fn gpu_prefill_well_below_npu_scale() {
+        let gpu = GpuBaseline::default();
+        let tps = gpu.prefill_tps(ModelId::Qwen1_5B, 1024);
+        // Paper Figure 13: GPU prefill in the few-hundred tok/s range.
+        assert!((100.0..900.0).contains(&tps), "gpu prefill {tps}");
+    }
+}

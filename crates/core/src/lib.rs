@@ -1,0 +1,30 @@
+//! `npuscale` — the end-to-end LLM inference system for NPU test-time
+//! scaling: the paper's primary contribution, assembled from the substrate
+//! crates.
+//!
+//! - [`session`] — the FastRPC/rpcmem runtime protocol: shared-memory
+//!   command ring with explicit cache maintenance (one-way coherence), a
+//!   polling NPU dispatcher, and the multi-session extension the paper
+//!   sketches for the 32-bit VA limit.
+//! - [`pipeline`] — decode/prefill measurement pipelines over the full
+//!   model forward (Figures 11, 13, 17).
+//! - [`power`] — activity-based power/energy accounting (Figure 12).
+//! - [`memory`] — dmabuf/CPU-RSS/CPU-utilization accounting (Figure 16).
+//! - [`baselines`] — analytic llama.cpp-OpenCL (Adreno GPU) and QNN-FP16
+//!   roofline baselines (Figure 13).
+//! - [`pareto`] — accuracy-vs-latency joins for the test-time-scaling
+//!   trade-off (Figure 10).
+//! - [`experiments`] — one typed row-generator per paper table/figure;
+//!   the bench harness prints exactly these rows.
+
+pub mod baselines;
+pub mod experiments;
+pub mod memory;
+pub mod pareto;
+pub mod pipeline;
+pub mod power;
+pub mod session;
+
+pub use pipeline::{DecodePoint, PrefillPoint};
+pub use power::PowerModel;
+pub use session::{NpuSession, SessionConfig};

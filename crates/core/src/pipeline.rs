@@ -1,0 +1,215 @@
+//! Decode and prefill measurement pipelines over the full model forward.
+//!
+//! Each pipeline builds a cost-only model on the requested device, sets up
+//! the KV state, runs the real forward pass (every kernel charging the
+//! calibrated cost model), and reports throughput plus engine-level busy
+//! times — the raw material for Figures 11, 12, 13, 16 and 17.
+
+use edgellm::config::ModelId;
+use edgellm::kv_cache::KvCache;
+use edgellm::model::Model;
+use hexsim::cost::{Engine, NUM_ENGINES};
+use hexsim::prelude::*;
+use htpops::gemm::DequantVariant;
+use serde::{Deserialize, Serialize};
+
+/// One decode measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodePoint {
+    /// Model label ("Q1.5", ...).
+    pub model: String,
+    /// Device SoC label ("8G3", ...).
+    pub device: String,
+    /// Decode batch size.
+    pub batch: usize,
+    /// Context length per sequence at measurement time.
+    pub ctx_len: usize,
+    /// Wall seconds per decode step.
+    pub step_secs: f64,
+    /// Decode throughput in tokens/second (batch / step).
+    pub tokens_per_sec: f64,
+    /// Fraction of the step spent in the CPU logits pass.
+    pub cpu_share: f64,
+    /// Busy seconds per engine during the step.
+    pub engine_secs: [f64; NUM_ENGINES],
+}
+
+/// One prefill measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrefillPoint {
+    /// Model label.
+    pub model: String,
+    /// Device SoC label.
+    pub device: String,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Wall seconds for the whole prefill.
+    pub total_secs: f64,
+    /// Prefill throughput in tokens/second.
+    pub tokens_per_sec: f64,
+}
+
+/// Errors from the pipeline (model does not fit the device, ...).
+pub type PipelineResult<T> = SimResult<T>;
+
+/// Measures one decode step of `model_id` on `device` at the given batch
+/// and per-sequence context length.
+pub fn measure_decode(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    batch: usize,
+    ctx_len: usize,
+) -> PipelineResult<DecodePoint> {
+    let mut ctx = NpuContext::new(device.clone(), ExecMode::CostOnly);
+    let model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    let budget = batch * (ctx_len + 2);
+    let mut cache = KvCache::new(&mut ctx, &model.cfg, batch, budget)?;
+    for s in 0..batch {
+        cache.fast_fill(s, ctx_len);
+    }
+    let snap = ctx.cost.snapshot();
+    let out = model.decode_step(&mut ctx, &mut cache, &vec![0u32; batch])?;
+    let delta = ctx.cost.delta_since(&snap, "decode");
+    let step_secs = out.cost.wall_secs();
+    Ok(DecodePoint {
+        model: model.cfg.id.label().to_string(),
+        device: device.arch.soc_label().to_string(),
+        batch,
+        ctx_len,
+        step_secs,
+        tokens_per_sec: batch as f64 / step_secs,
+        cpu_share: out.cost.cpu_secs / step_secs,
+        engine_secs: delta.engine_secs,
+    })
+}
+
+/// Measures a full prefill of `prompt_len` tokens.
+pub fn measure_prefill(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    prompt_len: usize,
+) -> PipelineResult<PrefillPoint> {
+    let mut ctx = NpuContext::new(device.clone(), ExecMode::CostOnly);
+    let model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, prompt_len + 2)?;
+    let out = model.prefill(&mut ctx, &mut cache, 0, &vec![0u32; prompt_len])?;
+    let total_secs = out.cost.wall_secs();
+    Ok(PrefillPoint {
+        model: model.cfg.id.label().to_string(),
+        device: device.arch.soc_label().to_string(),
+        prompt_len,
+        total_secs,
+        tokens_per_sec: prompt_len as f64 / total_secs,
+    })
+}
+
+/// Engine utilization (busy fraction of the step wall time), used by the
+/// power model.
+pub fn engine_utilization(point: &DecodePoint) -> [f64; NUM_ENGINES] {
+    let mut util = [0.0; NUM_ENGINES];
+    for (i, u) in util.iter_mut().enumerate() {
+        *u = (point.engine_secs[i] / point.step_secs).min(1.0);
+    }
+    util
+}
+
+/// Convenience: HVX busy fraction of a decode point.
+pub fn hvx_utilization(point: &DecodePoint) -> f64 {
+    engine_utilization(point)[Engine::Hvx.idx_pub()]
+}
+
+/// Extension trait exposing the engine index publicly.
+pub trait EngineIdx {
+    /// Stable array index of the engine.
+    fn idx_pub(self) -> usize;
+}
+
+impl EngineIdx for Engine {
+    fn idx_pub(self) -> usize {
+        Engine::ALL.iter().position(|e| *e == self).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_throughput_increases_with_batch_figure_11() {
+        let d = DeviceProfile::v75();
+        let t1 = measure_decode(&d, ModelId::Qwen1_5B, 1, 1024).unwrap();
+        let t4 = measure_decode(&d, ModelId::Qwen1_5B, 4, 1024).unwrap();
+        let t16 = measure_decode(&d, ModelId::Qwen1_5B, 16, 1024).unwrap();
+        assert!(t4.tokens_per_sec > t1.tokens_per_sec * 2.0);
+        assert!(t16.tokens_per_sec > t4.tokens_per_sec * 1.5);
+        // Paper Figure 11 (8G3, Qwen2.5-1.5B): ~10 tok/s at batch 1 rising
+        // toward ~100 at batch 16.
+        assert!(
+            (6.0..22.0).contains(&t1.tokens_per_sec),
+            "batch-1 {}",
+            t1.tokens_per_sec
+        );
+        assert!(
+            (55.0..160.0).contains(&t16.tokens_per_sec),
+            "batch-16 {}",
+            t16.tokens_per_sec
+        );
+    }
+
+    #[test]
+    fn devices_order_by_generation() {
+        let b = 4;
+        let t73 = measure_decode(&DeviceProfile::v73(), ModelId::Llama1B, b, 1024).unwrap();
+        let t75 = measure_decode(&DeviceProfile::v75(), ModelId::Llama1B, b, 1024).unwrap();
+        let t79 = measure_decode(&DeviceProfile::v79(), ModelId::Llama1B, b, 1024).unwrap();
+        assert!(t79.tokens_per_sec > t75.tokens_per_sec);
+        assert!(t75.tokens_per_sec > t73.tokens_per_sec);
+    }
+
+    #[test]
+    fn v73_rejects_3b_models() {
+        let err = measure_decode(&DeviceProfile::v73(), ModelId::Qwen3B, 1, 1024).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+    }
+
+    #[test]
+    fn prefill_speed_matches_figure_13_scale() {
+        let d = DeviceProfile::v75();
+        let p = measure_prefill(&d, ModelId::Qwen1_5B, 512).unwrap();
+        // Paper Figure 13: Qwen2.5-1.5B prefill in the hundreds to ~1500
+        // tokens/s range.
+        assert!(
+            (300.0..2500.0).contains(&p.tokens_per_sec),
+            "prefill {}",
+            p.tokens_per_sec
+        );
+        let p3 = measure_prefill(&d, ModelId::Qwen3B, 512).unwrap();
+        assert!(p3.tokens_per_sec < p.tokens_per_sec);
+    }
+
+    #[test]
+    fn longer_context_slows_decode_mildly_figure_17() {
+        let d = DeviceProfile::v75();
+        let short = measure_decode(&d, ModelId::Qwen1_5B, 8, 512).unwrap();
+        let long = measure_decode(&d, ModelId::Qwen1_5B, 8, 4096).unwrap();
+        let drop = 1.0 - long.tokens_per_sec / short.tokens_per_sec;
+        // Paper: "relatively subtle" decline from 512 to 4096.
+        assert!(drop > 0.01, "some decline expected, got {drop}");
+        assert!(drop < 0.45, "decline should be mild, got {drop}");
+    }
+
+    #[test]
+    fn utilization_fractions_are_sane() {
+        let d = DeviceProfile::v75();
+        let p = measure_decode(&d, ModelId::Qwen1_5B, 2, 512).unwrap();
+        let util = engine_utilization(&p);
+        for (i, u) in util.iter().enumerate() {
+            assert!((0.0..=1.0).contains(u), "engine {i} utilization {u}");
+        }
+        // Dequantization keeps the HVX the busiest *compute* engine, though
+        // dispatch overheads dilute its absolute share.
+        let hvx = util[Engine::Hvx.idx_pub()];
+        assert!(hvx > 0.15, "hvx utilization {hvx}");
+        assert!(hvx > util[Engine::Hmx.idx_pub()]);
+    }
+}

@@ -1,0 +1,534 @@
+//! Engine-level cost accounting for the simulated NPU.
+//!
+//! Every operation emitted through [`crate::ctx::NpuContext`] charges time to
+//! one of six engines. Within a *phase*, engines run concurrently (wall time
+//! is the maximum of the engine deltas — this models DMA double-buffering
+//! overlapped with HVX/HMX compute, which the paper's kernels rely on);
+//! across phases, time is sequential. Kernels report a [`PhaseCost`]
+//! breakdown, which is exactly the data behind the paper's Figure 8 latency
+//! decomposition and the Figure 14/15 ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProfile;
+
+/// A hardware engine that can be busy concurrently with the others.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// Scalar VLIW control core(s).
+    Scalar,
+    /// HVX vector unit(s).
+    Hvx,
+    /// HMX matrix unit.
+    Hmx,
+    /// DMA engine (DDR <-> TCM).
+    Dma,
+    /// `l2fetch` prefetch engine (DDR -> L2).
+    L2fetch,
+    /// Host CPU (big cores), for operators the runtime places there.
+    Cpu,
+}
+
+/// Number of distinct engines (array-map size).
+pub const NUM_ENGINES: usize = 6;
+
+impl Engine {
+    /// All engines, in a fixed order usable as array indices.
+    pub const ALL: [Engine; NUM_ENGINES] = [
+        Engine::Scalar,
+        Engine::Hvx,
+        Engine::Hmx,
+        Engine::Dma,
+        Engine::L2fetch,
+        Engine::Cpu,
+    ];
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Engine::Scalar => 0,
+            Engine::Hvx => 1,
+            Engine::Hmx => 2,
+            Engine::Dma => 3,
+            Engine::L2fetch => 4,
+            Engine::Cpu => 5,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Hvx => "hvx",
+            Engine::Hmx => "hmx",
+            Engine::Dma => "dma",
+            Engine::L2fetch => "l2fetch",
+            Engine::Cpu => "cpu",
+        }
+    }
+}
+
+/// Raw activity counters, useful for reports and calibration checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// HVX vector instructions issued.
+    pub hvx_instructions: u64,
+    /// `vgather` instructions issued (they dominate LUT softmax cost).
+    pub vgathers: u64,
+    /// `vlut16` instructions issued.
+    pub vluts: u64,
+    /// HMX 32x32x32 FP16 tile multiply-accumulates.
+    pub hmx_tile_ops: u64,
+    /// Bytes moved by the DMA engine.
+    pub dma_bytes: u64,
+    /// Bytes prefetched by `l2fetch`.
+    pub l2fetch_bytes: u64,
+    /// Bytes loaded by HVX over the core path (DDR/L2, not TCM).
+    pub hvx_ddr_load_bytes: u64,
+    /// Bytes moved between HVX and TCM.
+    pub tcm_bytes: u64,
+    /// FP32 floating-point operations executed on the host CPU.
+    pub cpu_flops: u64,
+    /// Bytes moved by the host CPU.
+    pub cpu_bytes: u64,
+}
+
+impl Counters {
+    fn add(&mut self, other: &Counters) {
+        self.hvx_instructions += other.hvx_instructions;
+        self.vgathers += other.vgathers;
+        self.vluts += other.vluts;
+        self.hmx_tile_ops += other.hmx_tile_ops;
+        self.dma_bytes += other.dma_bytes;
+        self.l2fetch_bytes += other.l2fetch_bytes;
+        self.hvx_ddr_load_bytes += other.hvx_ddr_load_bytes;
+        self.tcm_bytes += other.tcm_bytes;
+        self.cpu_flops += other.cpu_flops;
+        self.cpu_bytes += other.cpu_bytes;
+    }
+
+    fn scale(&mut self, base: &Counters, factor: u64) {
+        // self = base + (self - base) * factor, elementwise.
+        macro_rules! sc {
+            ($f:ident) => {
+                self.$f = base.$f + (self.$f - base.$f) * factor;
+            };
+        }
+        sc!(hvx_instructions);
+        sc!(vgathers);
+        sc!(vluts);
+        sc!(hmx_tile_ops);
+        sc!(dma_bytes);
+        sc!(l2fetch_bytes);
+        sc!(hvx_ddr_load_bytes);
+        sc!(tcm_bytes);
+        sc!(cpu_flops);
+        sc!(cpu_bytes);
+    }
+}
+
+/// Busy time per engine plus the wall-clock composition of one phase.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase label (e.g. `"softmax"`, `"matmul"`, `"qkvo load/store"`).
+    pub label: String,
+    /// Busy seconds per engine during the phase.
+    pub engine_secs: [f64; NUM_ENGINES],
+    /// Wall-clock seconds: max over engines (they overlap within a phase).
+    pub wall_secs: f64,
+}
+
+impl PhaseCost {
+    /// Busy seconds of one engine.
+    pub fn engine(&self, e: Engine) -> f64 {
+        self.engine_secs[e.idx()]
+    }
+
+    /// Merges another phase's engine times into this one (concurrent union:
+    /// engine times add, wall recomputed as max).
+    pub fn merge_concurrent(&mut self, other: &PhaseCost) {
+        for i in 0..NUM_ENGINES {
+            self.engine_secs[i] += other.engine_secs[i];
+        }
+        self.wall_secs = self
+            .engine_secs
+            .iter()
+            .fold(0.0f64, |acc, &s| acc.max(s));
+    }
+}
+
+/// Snapshot token for [`CostModel::snapshot`] / [`CostModel::scale_since`].
+#[derive(Clone, Copy, Debug)]
+pub struct CostSnapshot {
+    engine_secs: [f64; NUM_ENGINES],
+    counters: Counters,
+}
+
+/// Accumulates engine-busy time and activity counters for one NPU context.
+///
+/// The model is intentionally first-order: each HVX instruction packet takes
+/// one vector-clock cycle on its thread; `vgather` takes the device's
+/// published 24-48 packets; byte movement is charged at the engine's
+/// calibrated bandwidth; HMX tile-ops at the device's peak tile rate. The
+/// paper's speedups (Figures 14 and 15) emerge from instruction and byte
+/// *counts*, which the kernels produce faithfully.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    device: DeviceProfile,
+    engine_secs: [f64; NUM_ENGINES],
+    counters: Counters,
+    phases: Vec<PhaseCost>,
+    phase_start: Option<(String, [f64; NUM_ENGINES])>,
+    /// Divisor applied to HVX charges: number of vector threads the current
+    /// kernel declared it spreads across (1 = single-threaded).
+    hvx_parallelism: f64,
+}
+
+impl CostModel {
+    /// Creates an empty cost model for a device.
+    pub fn new(device: DeviceProfile) -> Self {
+        CostModel {
+            device,
+            engine_secs: [0.0; NUM_ENGINES],
+            counters: Counters::default(),
+            phases: Vec::new(),
+            phase_start: None,
+            hvx_parallelism: 1.0,
+        }
+    }
+
+    /// The device this model charges against.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Raw activity counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Total busy seconds of one engine since creation (or last reset).
+    pub fn engine_secs(&self, e: Engine) -> f64 {
+        self.engine_secs[e.idx()]
+    }
+
+    /// Sum of recorded phase wall times (sequential composition).
+    pub fn wall_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_secs).sum()
+    }
+
+    /// All recorded phases in order.
+    pub fn phases(&self) -> &[PhaseCost] {
+        &self.phases
+    }
+
+    /// Drops recorded phase history (engine totals and counters are kept).
+    /// Long-running pipelines call this per step to bound memory.
+    pub fn clear_phases(&mut self) {
+        self.phases.clear();
+    }
+
+    /// Clears all accumulated time, counters and phases.
+    pub fn reset(&mut self) {
+        self.engine_secs = [0.0; NUM_ENGINES];
+        self.counters = Counters::default();
+        self.phases.clear();
+        self.phase_start = None;
+        self.hvx_parallelism = 1.0;
+    }
+
+    /// Declares that subsequent HVX charges are spread over `threads` vector
+    /// threads (clamped to the device's scalar thread count). Returns the
+    /// previous value so callers can restore it.
+    pub fn set_hvx_parallelism(&mut self, threads: u32) -> f64 {
+        let prev = self.hvx_parallelism;
+        let t = threads.clamp(1, self.device.scalar_threads) as f64;
+        self.hvx_parallelism = t;
+        prev
+    }
+
+    /// Restores a previously saved HVX parallelism divisor.
+    pub fn restore_hvx_parallelism(&mut self, prev: f64) {
+        self.hvx_parallelism = prev;
+    }
+
+    /// Opens a named phase. Phases must not nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase is already open.
+    pub fn begin_phase(&mut self, label: &str) {
+        assert!(
+            self.phase_start.is_none(),
+            "cost phases must not nest (open: {:?})",
+            self.phase_start.as_ref().map(|(l, _)| l.clone())
+        );
+        self.phase_start = Some((label.to_string(), self.engine_secs));
+    }
+
+    /// Closes the open phase and records its engine/wall breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is open.
+    pub fn end_phase(&mut self) -> PhaseCost {
+        let (label, start) = self
+            .phase_start
+            .take()
+            .expect("end_phase called with no open phase");
+        let mut engine_secs = [0.0; NUM_ENGINES];
+        for i in 0..NUM_ENGINES {
+            engine_secs[i] = self.engine_secs[i] - start[i];
+        }
+        let wall_secs = engine_secs.iter().fold(0.0f64, |acc, &s| acc.max(s));
+        let phase = PhaseCost {
+            label,
+            engine_secs,
+            wall_secs,
+        };
+        self.phases.push(phase.clone());
+        phase
+    }
+
+    /// Charges `packets` instruction packets to the HVX engine, honoring the
+    /// declared thread parallelism.
+    pub fn charge_hvx_packets(&mut self, packets: u64) {
+        self.counters.hvx_instructions += packets;
+        let secs = packets as f64 / self.device.vector_clock_hz / self.hvx_parallelism;
+        self.engine_secs[Engine::Hvx.idx()] += secs;
+    }
+
+    /// Charges one `vgather` (paper: 24-48 packets on V75). `pipelined`
+    /// charges the lower bound, modelling multiple gathers in flight.
+    pub fn charge_vgather(&mut self, pipelined: bool) {
+        self.counters.vgathers += 1;
+        let p = if pipelined {
+            self.device.vgather_packets_min
+        } else {
+            (self.device.vgather_packets_min + self.device.vgather_packets_max) / 2
+        };
+        self.charge_hvx_packets(p as u64);
+    }
+
+    /// Charges one `vlut16` instruction.
+    pub fn charge_vlut16(&mut self) {
+        self.counters.vluts += 1;
+        self.charge_hvx_packets(1);
+    }
+
+    /// Charges `n` HMX 32x32x32 FP16 tile multiply-accumulates.
+    pub fn charge_hmx_tile_ops(&mut self, n: u64) {
+        self.counters.hmx_tile_ops += n;
+        let secs = n as f64 / self.device.hmx_tile_ops_per_sec();
+        self.engine_secs[Engine::Hmx.idx()] += secs;
+    }
+
+    /// Charges a DMA transfer of `bytes` between DDR and TCM.
+    pub fn charge_dma(&mut self, bytes: u64) {
+        self.counters.dma_bytes += bytes;
+        self.engine_secs[Engine::Dma.idx()] += bytes as f64 / self.device.dma_bw;
+    }
+
+    /// Charges an `l2fetch` prefetch of `bytes` from DDR into L2.
+    pub fn charge_l2fetch(&mut self, bytes: u64) {
+        self.counters.l2fetch_bytes += bytes;
+        self.engine_secs[Engine::L2fetch.idx()] += bytes as f64 / self.device.l2fetch_bw;
+    }
+
+    /// Charges an HVX load/store over the core path from DDR/L2 (the slow
+    /// path, Table 2: 26 GB/s on V75).
+    pub fn charge_hvx_ddr_bytes(&mut self, bytes: u64) {
+        self.counters.hvx_ddr_load_bytes += bytes;
+        let secs = bytes as f64 / self.device.hvx_load_bw / self.hvx_parallelism;
+        self.engine_secs[Engine::Hvx.idx()] += secs;
+    }
+
+    /// Charges HVX <-> TCM streaming of `bytes` (fast on-chip path).
+    pub fn charge_tcm_bytes(&mut self, bytes: u64) {
+        self.counters.tcm_bytes += bytes;
+        let secs = bytes as f64 / self.device.tcm_bw / self.hvx_parallelism;
+        self.engine_secs[Engine::Hvx.idx()] += secs;
+    }
+
+    /// Charges `flops` FP32 operations on the host CPU at its calibrated
+    /// aggregate throughput, plus `bytes` of memory traffic; the slower of
+    /// the two bounds the time (simple roofline).
+    pub fn charge_cpu(&mut self, flops: u64, bytes: u64) {
+        self.counters.cpu_flops += flops;
+        self.counters.cpu_bytes += bytes;
+        let t_flops = flops as f64 / self.device.cpu_flops;
+        let t_bytes = bytes as f64 / self.device.cpu_mem_bw;
+        self.engine_secs[Engine::Cpu.idx()] += t_flops.max(t_bytes);
+    }
+
+    /// Charges raw seconds to an engine (escape hatch for modelled fixed
+    /// overheads such as RPC handshakes).
+    pub fn charge_secs(&mut self, e: Engine, secs: f64) {
+        self.engine_secs[e.idx()] += secs;
+    }
+
+    /// Takes a snapshot for later [`CostModel::scale_since`].
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            engine_secs: self.engine_secs,
+            counters: self.counters,
+        }
+    }
+
+    /// Difference between now and a snapshot, as a [`PhaseCost`].
+    #[allow(clippy::needless_range_loop)]
+    pub fn delta_since(&self, snap: &CostSnapshot, label: &str) -> PhaseCost {
+        let mut engine_secs = [0.0; NUM_ENGINES];
+        for i in 0..NUM_ENGINES {
+            engine_secs[i] = self.engine_secs[i] - snap.engine_secs[i];
+        }
+        let wall_secs = engine_secs.iter().fold(0.0f64, |acc, &s| acc.max(s));
+        PhaseCost {
+            label: label.to_string(),
+            engine_secs,
+            wall_secs,
+        }
+    }
+
+    /// Multiplies everything charged since `snap` by `factor`. Used by
+    /// [`crate::ctx::NpuContext::replay`] to extrapolate one representative
+    /// block execution to `factor` identical blocks.
+    pub fn scale_since(&mut self, snap: &CostSnapshot, factor: u64) {
+        for i in 0..NUM_ENGINES {
+            let delta = self.engine_secs[i] - snap.engine_secs[i];
+            self.engine_secs[i] = snap.engine_secs[i] + delta * factor as f64;
+        }
+        self.counters.scale(&snap.counters, factor);
+    }
+
+    /// Adds the totals of another cost model (e.g. a per-thread context)
+    /// into this one.
+    pub fn absorb(&mut self, other: &CostModel) {
+        for i in 0..NUM_ENGINES {
+            self.engine_secs[i] += other.engine_secs[i];
+        }
+        self.counters.add(&other.counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceProfile::v75())
+    }
+
+    #[test]
+    fn hvx_packet_time_matches_clock() {
+        let mut m = model();
+        m.charge_hvx_packets(1_150_000); // 1 ms at 1.15 GHz.
+        assert!((m.engine_secs(Engine::Hvx) - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_divides_hvx_time() {
+        let mut m = model();
+        let prev = m.set_hvx_parallelism(4);
+        m.charge_hvx_packets(4_000);
+        m.restore_hvx_parallelism(prev);
+        m.charge_hvx_packets(1_000);
+        // 4000/4 + 1000 = 2000 cycle-equivalents.
+        let expect = 2000.0 / 1.15e9;
+        assert!((m.engine_secs(Engine::Hvx) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallelism_clamps_to_thread_count() {
+        let mut m = model();
+        m.set_hvx_parallelism(64);
+        m.charge_hvx_packets(6_000);
+        // V75 has 6 scalar threads; 64 must clamp to 6.
+        let expect = 1000.0 / 1.15e9;
+        assert!((m.engine_secs(Engine::Hvx) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dma_time_matches_bandwidth() {
+        let mut m = model();
+        m.charge_dma(60_000_000_000); // 1 s at 60 GB/s.
+        assert!((m.engine_secs(Engine::Dma) - 1.0).abs() < 1e-9);
+        assert_eq!(m.counters().dma_bytes, 60_000_000_000);
+    }
+
+    #[test]
+    fn hmx_tile_rate_matches_table2() {
+        let mut m = model();
+        // 1 second of tile-ops at peak should equal hmx_flops of work.
+        let tiles_per_sec = DeviceProfile::v75().hmx_tile_ops_per_sec();
+        m.charge_hmx_tile_ops(tiles_per_sec as u64);
+        assert!((m.engine_secs(Engine::Hmx) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phase_wall_is_max_of_engines() {
+        let mut m = model();
+        m.begin_phase("p");
+        m.charge_dma(6_000_000); // 0.1 ms on DMA.
+        m.charge_hvx_packets(230_000); // 0.2 ms on HVX.
+        let p = m.end_phase();
+        assert!((p.wall_secs - 0.2e-3).abs() < 1e-8);
+        assert!((m.wall_secs() - 0.2e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_phase_panics() {
+        let mut m = model();
+        m.begin_phase("a");
+        m.begin_phase("b");
+    }
+
+    #[test]
+    fn scale_since_multiplies_delta_only() {
+        let mut m = model();
+        m.charge_dma(1000);
+        let snap = m.snapshot();
+        m.charge_dma(500);
+        m.charge_hvx_packets(10);
+        m.scale_since(&snap, 8);
+        assert_eq!(m.counters().dma_bytes, 1000 + 500 * 8);
+        assert_eq!(m.counters().hvx_instructions, 80);
+    }
+
+    #[test]
+    fn vgather_charges_device_packets() {
+        let mut m = model();
+        m.charge_vgather(true);
+        let t_min = 24.0 / 1.15e9;
+        assert!((m.engine_secs(Engine::Hvx) - t_min).abs() < 1e-15);
+        m.reset();
+        m.charge_vgather(false);
+        let t_mid = 36.0 / 1.15e9;
+        assert!((m.engine_secs(Engine::Hvx) - t_mid).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cpu_roofline_takes_slower_bound() {
+        let mut m = model();
+        // Tiny flops, huge bytes: memory-bound.
+        m.charge_cpu(1, 32_000_000_000);
+        assert!((m.engine_secs(Engine::Cpu) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_concurrent_recomputes_wall() {
+        let mut a = PhaseCost {
+            label: "a".into(),
+            engine_secs: [0.0; NUM_ENGINES],
+            wall_secs: 0.0,
+        };
+        a.engine_secs[Engine::Hvx.idx()] = 1.0;
+        a.wall_secs = 1.0;
+        let mut b = a.clone();
+        b.engine_secs[Engine::Dma.idx()] = 3.0;
+        a.merge_concurrent(&b);
+        assert!((a.wall_secs - 3.0).abs() < 1e-12);
+        assert!((a.engine(Engine::Hvx) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Memory-system model: TCM scratch, DDR heap, and session VA accounting.
+//!
+//! The Hexagon NPU's memory hierarchy (paper Figure 3) is: DDR, a shared
+//! 1 MiB L2, and 8 MiB of software-managed TCM. `l2fetch` pulls DDR into L2
+//! (20-30 GB/s); the DMA engine moves 1D/2D blocks into TCM (~60 GB/s);
+//! vector scatter/gather and *all* HMX instructions can only touch TCM.
+//! This module provides the storage; bandwidth costs are charged by
+//! [`crate::ctx::NpuContext`], which owns both the storage and the cost
+//! model.
+
+use std::collections::HashMap;
+
+use crate::error::{SimError, SimResult};
+
+/// A byte address inside the TCM (valid range `0..tcm_bytes`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TcmAddr(pub u32);
+
+impl TcmAddr {
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u32) -> TcmAddr {
+        TcmAddr(self.0 + bytes)
+    }
+}
+
+/// Handle to a DDR allocation owned by the simulated NPU session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DdrBuffer(pub u64);
+
+pub(crate) struct DdrBufferState {
+    pub size: u64,
+    /// Backing bytes; `None` in cost-only mode (shape-level simulation).
+    pub data: Option<Vec<u8>>,
+}
+
+/// Heap of DDR allocations with session VA-space accounting.
+///
+/// The VA limit models the 32-bit address space of a single NPU session: on
+/// Snapdragon 8 Gen 2 only ~2 GiB is usable, which is exactly why the paper
+/// cannot run 3B-parameter models there (Section 7.2.1, Figure 11).
+pub(crate) struct DdrHeap {
+    buffers: HashMap<u64, DdrBufferState>,
+    next_id: u64,
+    pub mapped_bytes: u64,
+    pub va_capacity: u64,
+}
+
+impl DdrHeap {
+    pub fn new(va_capacity: u64) -> Self {
+        DdrHeap {
+            buffers: HashMap::new(),
+            next_id: 1,
+            mapped_bytes: 0,
+            va_capacity,
+        }
+    }
+
+    pub fn alloc(&mut self, size: u64, materialize: bool) -> SimResult<DdrBuffer> {
+        if self.mapped_bytes + size > self.va_capacity {
+            return Err(SimError::VaSpaceExceeded {
+                capacity: self.va_capacity,
+                mapped: self.mapped_bytes,
+                requested: size,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.mapped_bytes += size;
+        let data = if materialize {
+            Some(vec![0u8; size as usize])
+        } else {
+            None
+        };
+        self.buffers.insert(id, DdrBufferState { size, data });
+        Ok(DdrBuffer(id))
+    }
+
+    pub fn free(&mut self, buf: DdrBuffer) {
+        if let Some(state) = self.buffers.remove(&buf.0) {
+            self.mapped_bytes -= state.size;
+        }
+    }
+
+    pub fn get(&self, buf: DdrBuffer) -> &DdrBufferState {
+        self.buffers
+            .get(&buf.0)
+            .expect("use of freed or foreign DdrBuffer")
+    }
+
+    pub fn get_mut(&mut self, buf: DdrBuffer) -> &mut DdrBufferState {
+        self.buffers
+            .get_mut(&buf.0)
+            .expect("use of freed or foreign DdrBuffer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn va_space_is_enforced() {
+        let mut heap = DdrHeap::new(1000);
+        let a = heap.alloc(600, false).unwrap();
+        let err = heap.alloc(600, false).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+        heap.free(a);
+        heap.alloc(600, false).unwrap();
+    }
+
+    #[test]
+    fn free_returns_va_space() {
+        let mut heap = DdrHeap::new(100);
+        let a = heap.alloc(100, false).unwrap();
+        assert_eq!(heap.mapped_bytes, 100);
+        heap.free(a);
+        assert_eq!(heap.mapped_bytes, 0);
+    }
+
+    #[test]
+    fn materialized_buffers_are_zeroed() {
+        let mut heap = DdrHeap::new(1 << 20);
+        let a = heap.alloc(64, true).unwrap();
+        let state = heap.get(a);
+        assert_eq!(state.data.as_ref().unwrap().len(), 64);
+        assert!(state.data.as_ref().unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cost_only_buffers_have_no_backing() {
+        let mut heap = DdrHeap::new(1 << 40);
+        let a = heap.alloc(1 << 35, false).unwrap(); // 32 GiB, shape only.
+        assert!(heap.get(a).data.is_none());
+        assert_eq!(heap.get(a).size, 1 << 35);
+    }
+
+    #[test]
+    fn tcm_addr_offset() {
+        assert_eq!(TcmAddr(128).offset(64), TcmAddr(192));
+    }
+}

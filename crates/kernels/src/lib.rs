@@ -1,0 +1,42 @@
+//! NPU operator library (`htp-ops-lib` analog) for the EuroSys '26
+//! reproduction: every kernel the paper builds on the Hexagon NPU,
+//! implemented against the [`hexsim`] simulator.
+//!
+//! - [`dequant`] — INT4/INT8 -> FP16 dequantization: the paper's `vlut16`
+//!   LUT path with super-group coalescing and `vlut16` scale broadcast
+//!   (Figure 9, Section 5.2.2), plus the naive unpack-convert chain and the
+//!   conventional-layout scatter path used as ablation baselines.
+//! - [`gemm`] — mixed-precision GEMM/GEMV on the HMX with streaming weight
+//!   dequantization; four variants matching Figure 15's ablation arms.
+//! - [`exp_lut`] — the 64 KiB `vgather` exp LUT (Section 5.2.1) and the
+//!   F32/F16 polynomial exponentials it replaces.
+//! - [`softmax`] — safe-softmax row kernels parameterized by exp method
+//!   (Figure 14's ablation).
+//! - [`attention`] — FP16 FlashAttention per the paper's Algorithm 1, with
+//!   the stage-level latency breakdown of Figure 8, and an F32 reference
+//!   attention (Table 5's baseline).
+//! - [`misc`] — RMSNorm, RoPE, SiLU and residual-add vector kernels.
+//! - [`mod@reference`] — f32/f64 reference math for numeric testing.
+//!
+//! # Cost-model conventions
+//!
+//! Kernels emit real instructions through [`hexsim::ctx::NpuContext`]
+//! wherever the data path is the paper's contribution (the LUT dequant
+//! chain, the exp LUT, tile layouts). For the deliberately-inefficient
+//! baseline paths whose byte manipulation is awkward to express with wide
+//! vectors (that awkwardness being the paper's very point), the functional
+//! result is computed exactly while the instruction trace is charged
+//! analytically; each such site is commented with its modeled sequence.
+
+pub mod attention;
+pub mod dequant;
+pub mod exp_lut;
+pub mod gemm;
+pub mod misc;
+pub mod reference;
+pub mod softmax;
+
+pub use attention::{FlashAttention, FlashAttentionBreakdown};
+pub use dequant::DequantEnv;
+pub use exp_lut::{ExpLut16, ExpMethod};
+pub use gemm::{DequantVariant, GemmConfig, GemmResult};

@@ -1,0 +1,180 @@
+//! High-precision reference implementations for kernel verification.
+//!
+//! Everything here is plain f32/f64 math with no simulator involvement;
+//! tests compare kernel outputs against these to bound numeric error (the
+//! evidence behind the paper's Table 5: FP16 FlashAttention with LUT
+//! softmax matches FP32 attention).
+
+/// Softmax of one row in f64.
+pub fn softmax_ref_f64(row: &[f32]) -> Vec<f64> {
+    let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let exps: Vec<f64> = row.iter().map(|&x| ((x as f64) - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Dense GEMM in f32: `C[m, n] = A[m, k] x B[k, n]` (row-major).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shapes.
+pub fn gemm_ref_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Scaled-dot-product attention in f64: causal masking is *not* applied
+/// (the paper's decode-phase attention attends to the whole KV cache).
+///
+/// `q`: `[nq, d]`, `k`/`v`: `[nkv, d]`, all row-major; returns `[nq, d]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shapes.
+pub fn attention_ref_f64(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    nq: usize,
+    nkv: usize,
+    d: usize,
+    scale: f64,
+) -> Vec<f64> {
+    assert_eq!(q.len(), nq * d);
+    assert_eq!(k.len(), nkv * d);
+    assert_eq!(v.len(), nkv * d);
+    let mut out = vec![0.0f64; nq * d];
+    for i in 0..nq {
+        // Scores.
+        let mut s = vec![0.0f64; nkv];
+        for j in 0..nkv {
+            let mut dot = 0.0f64;
+            for p in 0..d {
+                dot += q[i * d + p] as f64 * k[j * d + p] as f64;
+            }
+            s[j] = dot * scale;
+        }
+        // Softmax.
+        let m = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0f64;
+        for x in s.iter_mut() {
+            *x = (*x - m).exp();
+            sum += *x;
+        }
+        // Weighted value sum.
+        for j in 0..nkv {
+            let w = s[j] / sum;
+            for p in 0..d {
+                out[i * d + p] += w * v[j * d + p] as f64;
+            }
+        }
+    }
+    out
+}
+
+/// Causal scaled-dot-product attention in f64: query `i` (at absolute
+/// position `q_start + i`) attends to KV positions `<= q_start + i`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_causal_ref_f64(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    nq: usize,
+    nkv: usize,
+    d: usize,
+    scale: f64,
+    q_start: usize,
+) -> Vec<f64> {
+    assert_eq!(q.len(), nq * d);
+    assert_eq!(k.len(), nkv * d);
+    assert_eq!(v.len(), nkv * d);
+    let mut out = vec![0.0f64; nq * d];
+    for i in 0..nq {
+        let limit = (q_start + i + 1).min(nkv);
+        let mut s = vec![0.0f64; limit];
+        for (j, sj) in s.iter_mut().enumerate() {
+            let mut dot = 0.0f64;
+            for p in 0..d {
+                dot += q[i * d + p] as f64 * k[j * d + p] as f64;
+            }
+            *sj = dot * scale;
+        }
+        let m = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0f64;
+        for x in s.iter_mut() {
+            *x = (*x - m).exp();
+            sum += *x;
+        }
+        for (j, &w) in s.iter().enumerate() {
+            for p in 0..d {
+                out[i * d + p] += w / sum * v[j * d + p] as f64;
+            }
+        }
+    }
+    out
+}
+
+/// Root-mean-square error between two vectors (f64 accumulate).
+pub fn rmse(a: &[f32], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let se: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y) * (x as f64 - y))
+        .sum();
+    (se / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_ref_normalizes() {
+        let out = softmax_ref_f64(&[1.0, 2.0, 3.0]);
+        let s: f64 = out.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn gemm_ref_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2.
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(gemm_ref_f32(&a, &eye, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn attention_ref_uniform_weights() {
+        // Q orthogonal to K -> all scores zero -> output = mean of V rows.
+        let q = vec![0.0f32; 4];
+        let k = vec![1.0f32; 8]; // 2 x 4.
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let out = attention_ref_f64(&q, &k, &v, 1, 2, 4, 1.0);
+        assert_eq!(out, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn rmse_zero_for_equal() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![1.0f64, 2.0];
+        assert_eq!(rmse(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Safe-softmax row kernels parameterized by exponential method — the
+//! subject of the paper's Figure 14 ablation.
+//!
+//! The kernel processes a `[rows, cols]` FP16 matrix resident in TCM (an
+//! attention-score workload: `rows = Nq`, `cols = Nkv`) in three streaming
+//! passes per row: (1) running max, (2) subtract-exp-accumulate with FP32
+//! sum accumulation (paper Algorithm 1 upcasts rowsum to 32-bit), (3)
+//! normalize by the reciprocal. Only pass 2's exponential differs between
+//! methods, which is why measured speedups (1.26-2.19x for LUT vs F32) are
+//! smaller than the raw per-register exp ratios — the surrounding passes
+//! dilute them, more so for short rows.
+
+use hexsim::f16::F16;
+use hexsim::hvx::{HVX_BYTES, HVX_HALVES};
+use hexsim::prelude::*;
+
+use crate::exp_lut::{exp_vec, ExpLut16, ExpMethod};
+
+/// Softmax workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct SoftmaxConfig {
+    /// Number of rows (attention query length `Nq`).
+    pub rows: usize,
+    /// Row length (attention KV length `Nkv`); must be a multiple of 64.
+    pub cols: usize,
+    /// Exponential implementation.
+    pub method: ExpMethod,
+}
+
+/// Runs safe softmax in place over a TCM-resident `[rows, cols]` FP16
+/// matrix and returns the phase cost.
+///
+/// # Panics
+///
+/// Panics if `cols` is not a multiple of 64 (one vector register of FP16).
+pub fn softmax_rows(
+    ctx: &mut NpuContext,
+    lut: &ExpLut16,
+    cfg: SoftmaxConfig,
+    data: TcmAddr,
+) -> PhaseCost {
+    assert_eq!(cfg.cols % HVX_HALVES, 0, "cols must be a multiple of 64");
+    let regs_per_row = cfg.cols / HVX_HALVES;
+    let row_bytes = (cfg.cols * 2) as u32;
+    let (_, phase) = ctx.phase(cfg.method.label(), |ctx| {
+        ctx.replay_indexed(cfg.rows as u64, |ctx, r| {
+            let row = data.offset(r as u32 * row_bytes);
+
+            // Pass 1: running row max.
+            let mut max_reg = ctx.vmem_ld_tcm(row);
+            for i in 1..regs_per_row {
+                let v = ctx.vmem_ld_tcm(row.offset((i * HVX_BYTES) as u32));
+                max_reg = ctx.vmax_hf(&max_reg, &v);
+            }
+            // Horizontal max: log-tree of shuffles and maxes (modeled as 12
+            // packets; exact value computed lane-side).
+            ctx.cost.charge_hvx_packets(12);
+            let m = max_reg
+                .to_hf_vec()
+                .into_iter()
+                .fold(F16::NEG_INFINITY, |a, b| a.max(b));
+            let m_splat = ctx.vsplat_hf(m);
+
+            // Pass 2: exp(x - m), FP32 sum accumulation.
+            let mut sum = 0.0f64;
+            for i in 0..regs_per_row {
+                let addr = row.offset((i * HVX_BYTES) as u32);
+                let v = ctx.vmem_ld_tcm(addr);
+                let shifted = ctx.vsub_hf(&v, &m_splat);
+                let shifted = ctx.vconv_qf16(shifted);
+                let e = exp_vec(ctx, lut, cfg.method, &shifted);
+                // FP32 accumulation of the row sum (widen + two adds).
+                let (_lo, _hi) = ctx.vcvt_hf_sf(&e);
+                ctx.cost.charge_hvx_packets(2);
+                for lane in 0..HVX_HALVES {
+                    sum += e.get_hf(lane).to_f32() as f64;
+                }
+                ctx.vmem_st_tcm(addr, &e);
+            }
+            // Horizontal FP32 sum (12 packets) + scalar reciprocal (4).
+            ctx.cost.charge_hvx_packets(16);
+            let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+            let inv_splat = ctx.vsplat_hf(F16::from_f64(inv));
+
+            // Pass 3: normalize.
+            for i in 0..regs_per_row {
+                let addr = row.offset((i * HVX_BYTES) as u32);
+                let e = ctx.vmem_ld_tcm(addr);
+                let n = ctx.vmpy_hf(&e, &inv_splat);
+                let n = ctx.vconv_qf16(n);
+                ctx.vmem_st_tcm(addr, &n);
+            }
+        });
+    });
+    phase
+}
+
+/// Convenience: stages a `[rows, cols]` f32 matrix into TCM as FP16,
+/// runs softmax, and reads the result back (functional mode only).
+///
+/// Returns `(result_rows, cost)`.
+///
+/// # Panics
+///
+/// Panics if the TCM allocation fails or shapes mismatch.
+pub fn softmax_host(
+    ctx: &mut NpuContext,
+    lut: &ExpLut16,
+    cfg: SoftmaxConfig,
+    input: &[f32],
+) -> (Vec<f32>, PhaseCost) {
+    assert_eq!(input.len(), cfg.rows * cfg.cols);
+    let mark = ctx.tcm_mark();
+    let data = ctx
+        .tcm_alloc((cfg.rows * cfg.cols * 2) as u32, 128)
+        .expect("softmax workload must fit in TCM");
+    let mut bytes = vec![0u8; cfg.rows * cfg.cols * 2];
+    for (i, &x) in input.iter().enumerate() {
+        bytes[2 * i..2 * i + 2].copy_from_slice(&F16::from_f32(x).0.to_le_bytes());
+    }
+    ctx.tcm_poke(data, &bytes);
+    let cost = softmax_rows(ctx, lut, cfg, data);
+    let out_bytes = ctx.tcm_peek(data, cfg.rows * cfg.cols * 2).to_vec();
+    let out = (0..cfg.rows * cfg.cols)
+        .map(|i| F16(u16::from_le_bytes([out_bytes[2 * i], out_bytes[2 * i + 1]])).to_f32())
+        .collect();
+    ctx.tcm_release(mark);
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::softmax_ref_f64;
+
+    fn ctx() -> NpuContext {
+        NpuContext::new(DeviceProfile::v75(), ExecMode::Functional)
+    }
+
+    fn workload(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| (((i as u64).wrapping_mul(seed + 7) % 97) as f32) / 10.0 - 4.8)
+            .collect()
+    }
+
+    #[test]
+    fn lut_softmax_matches_reference() {
+        let mut c = ctx();
+        let lut = ExpLut16::build(&mut c).unwrap();
+        let cfg = SoftmaxConfig {
+            rows: 4,
+            cols: 128,
+            method: ExpMethod::Lut16,
+        };
+        let input = workload(4, 128, 3);
+        let (got, _) = softmax_host(&mut c, &lut, cfg, &input);
+        for r in 0..4 {
+            let expect = softmax_ref_f64(&input[r * 128..(r + 1) * 128]);
+            for i in 0..128 {
+                assert!(
+                    (got[r * 128 + i] - expect[i] as f32).abs() < 2e-3,
+                    "row {r} col {i}: {} vs {}",
+                    got[r * 128 + i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one_all_methods() {
+        let mut c = ctx();
+        let lut = ExpLut16::build(&mut c).unwrap();
+        for method in [ExpMethod::F32Poly, ExpMethod::F16Poly, ExpMethod::Lut16] {
+            let cfg = SoftmaxConfig {
+                rows: 2,
+                cols: 192,
+                method,
+            };
+            let input = workload(2, 192, 11);
+            let (got, _) = softmax_host(&mut c, &lut, cfg, &input);
+            for r in 0..2 {
+                let s: f32 = got[r * 192..(r + 1) * 192].iter().sum();
+                assert!((s - 1.0).abs() < 0.02, "{method:?} row {r} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn speedups_in_paper_range() {
+        // Figure 14: LUT16 is 1.26-2.19x faster than F32 exp and up to
+        // 1.60x faster than F16 exp, across Nkv in {1K,4K,16K}, Nq in
+        // {1,4,16}. Use cost-only mode for the big shapes.
+        let mut c = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let lut = ExpLut16::build(&mut c).unwrap();
+        let data = c.tcm_alloc(64 * 1024, 128).unwrap(); // Shape-level only.
+        for &(nq, nkv) in &[(1usize, 1024usize), (4, 4096), (16, 16384)] {
+            let time = |c: &mut NpuContext, method| {
+                let cfg = SoftmaxConfig {
+                    rows: nq,
+                    cols: nkv,
+                    method,
+                };
+                softmax_rows(c, &lut, cfg, data).wall_secs
+            };
+            let t32 = time(&mut c, ExpMethod::F32Poly);
+            let t16 = time(&mut c, ExpMethod::F16Poly);
+            let tlut = time(&mut c, ExpMethod::Lut16);
+            let s32 = t32 / tlut;
+            let s16 = t16 / tlut;
+            assert!(
+                (1.2..2.3).contains(&s32),
+                "Nq={nq} Nkv={nkv}: f32 speedup {s32}"
+            );
+            assert!(
+                (1.0..1.7).contains(&s16),
+                "Nq={nq} Nkv={nkv}: f16 speedup {s16}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_elements() {
+        let mut c = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let lut = ExpLut16::build(&mut c).unwrap();
+        let data = c.tcm_alloc(64 * 1024, 128).unwrap();
+        let t = |c: &mut NpuContext, rows, cols| {
+            softmax_rows(
+                c,
+                &lut,
+                SoftmaxConfig {
+                    rows,
+                    cols,
+                    method: ExpMethod::Lut16,
+                },
+                data,
+            )
+            .wall_secs
+        };
+        let t1 = t(&mut c, 1, 1024);
+        let t4 = t(&mut c, 4, 1024);
+        let t16k = t(&mut c, 1, 16384);
+        assert!((t4 / t1 - 4.0).abs() < 0.2, "row scaling {}", t4 / t1);
+        assert!(t16k / t1 > 12.0, "col scaling {}", t16k / t1);
+    }
+
+    #[test]
+    fn functional_and_cost_only_charge_identically() {
+        let cfg = SoftmaxConfig {
+            rows: 3,
+            cols: 128,
+            method: ExpMethod::Lut16,
+        };
+        let run = |mode| {
+            let mut c = NpuContext::new(DeviceProfile::v75(), mode);
+            let lut = ExpLut16::build(&mut c).unwrap();
+            let data = c.tcm_alloc(3 * 128 * 2, 128).unwrap();
+            let cost = softmax_rows(&mut c, &lut, cfg, data);
+            (cost.wall_secs, c.cost.counters().hvx_instructions)
+        };
+        let (wf, if_) = run(ExecMode::Functional);
+        let (wc, ic) = run(ExecMode::CostOnly);
+        assert!((wf - wc).abs() < 1e-12);
+        assert_eq!(if_, ic);
+    }
+}

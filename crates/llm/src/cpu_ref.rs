@@ -1,0 +1,193 @@
+//! FP32 reference forward pass, used to validate the NPU path.
+//!
+//! Runs the same architecture with the same (dequantized) weights in plain
+//! f32 — no tiles, no FP16, no LUTs — so any divergence in the NPU path
+//! beyond FP16 rounding is a kernel bug. Also doubles as the "CPU backend"
+//! the paper's runtime falls back to for operators not yet on the NPU.
+
+use crate::config::ModelConfig;
+use crate::weights::{LayerFloatWeights, ModelWeights};
+
+fn rmsnorm_f32(x: &mut [f32], eps: f32) {
+    let n = x.len() as f32;
+    let ss: f32 = x.iter().map(|v| v * v).sum();
+    let inv = 1.0 / (ss / n + eps).sqrt();
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+fn matmul_f32(x: &[f32], w: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a = x[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += a * w[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn rope_f32(x: &mut [f32], pos: usize, theta_base: f32) {
+    let d = x.len();
+    let half = d / 2;
+    for i in 0..half {
+        let freq = theta_base.powf(-2.0 * (i as f32) / d as f32);
+        let (sin, cos) = (pos as f32 * freq).sin_cos();
+        let (a, b) = (x[i], x[i + half]);
+        x[i] = a * cos - b * sin;
+        x[i + half] = a * sin + b * cos;
+    }
+}
+
+/// Full-sequence reference forward: returns logits `[len, vocab]` with
+/// causal attention, matching the NPU path's architecture exactly.
+///
+/// # Panics
+///
+/// Panics if the weights lack float copies (cost-only builds).
+pub fn forward_reference(cfg: &ModelConfig, weights: &ModelWeights, tokens: &[u32]) -> Vec<f32> {
+    assert!(
+        !weights.float_layers.is_empty(),
+        "reference forward requires functional-mode weights"
+    );
+    forward_float(cfg, &weights.float_layers, &weights.embed, tokens)
+}
+
+/// Reference forward over explicit float layers and embedding — used by
+/// the quantization-impact experiments, which substitute differently
+/// quantized (then dequantized) weight variants.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn forward_float(
+    cfg: &ModelConfig,
+    float_layers: &[LayerFloatWeights],
+    embed: &[f32],
+    tokens: &[u32],
+) -> Vec<f32> {
+    let len = tokens.len();
+    let (hidden, q_dim, kv_dim, d) = (cfg.hidden, cfg.q_dim(), cfg.kv_dim(), cfg.head_dim);
+    let g = cfg.gqa_group();
+
+    // Embedding.
+    let mut x = vec![0.0f32; len * hidden];
+    for (i, &t) in tokens.iter().enumerate() {
+        let t = t as usize;
+        x[i * hidden..(i + 1) * hidden].copy_from_slice(&embed[t * hidden..(t + 1) * hidden]);
+    }
+
+    for lw in float_layers {
+        // Attention block.
+        let mut normed = x.clone();
+        for r in 0..len {
+            rmsnorm_f32(&mut normed[r * hidden..(r + 1) * hidden], 1e-5);
+        }
+        let mut q = matmul_f32(&normed, &lw.wq, len, hidden, q_dim);
+        let mut k = matmul_f32(&normed, &lw.wk, len, hidden, kv_dim);
+        let v = matmul_f32(&normed, &lw.wv, len, hidden, kv_dim);
+        for r in 0..len {
+            for h in 0..cfg.heads {
+                rope_f32(&mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d], r, cfg.rope_theta);
+            }
+            for h in 0..cfg.kv_heads {
+                rope_f32(&mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d], r, cfg.rope_theta);
+            }
+        }
+        // Causal attention.
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut attn = vec![0.0f32; len * q_dim];
+        for qh in 0..cfg.heads {
+            let kvh = qh / g;
+            for i in 0..len {
+                let mut scores = vec![0.0f32; i + 1];
+                for (j, sj) in scores.iter_mut().enumerate() {
+                    let mut dot = 0.0;
+                    for p in 0..d {
+                        dot += q[i * q_dim + qh * d + p] * k[j * kv_dim + kvh * d + p];
+                    }
+                    *sj = dot * scale;
+                }
+                let m = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for s in scores.iter_mut() {
+                    *s = (*s - m).exp();
+                    sum += *s;
+                }
+                for (j, &w) in scores.iter().enumerate() {
+                    let wgt = w / sum;
+                    for p in 0..d {
+                        attn[i * q_dim + qh * d + p] += wgt * v[j * kv_dim + kvh * d + p];
+                    }
+                }
+            }
+        }
+        let o = matmul_f32(&attn, &lw.wo, len, q_dim, hidden);
+        for (xi, oi) in x.iter_mut().zip(&o) {
+            *xi += oi;
+        }
+
+        // FFN block.
+        let mut ffn_in = x.clone();
+        for r in 0..len {
+            rmsnorm_f32(&mut ffn_in[r * hidden..(r + 1) * hidden], 1e-5);
+        }
+        let mut gate = matmul_f32(&ffn_in, &lw.w_gate, len, hidden, cfg.ffn);
+        let up = matmul_f32(&ffn_in, &lw.w_up, len, hidden, cfg.ffn);
+        for (gv, uv) in gate.iter_mut().zip(&up) {
+            let s = *gv / (1.0 + (-*gv).exp());
+            *gv = s * uv;
+        }
+        let down = matmul_f32(&gate, &lw.w_down, len, cfg.ffn, hidden);
+        for (xi, di) in x.iter_mut().zip(&down) {
+            *xi += di;
+        }
+    }
+
+    // Final norm + logits for every position.
+    for r in 0..len {
+        rmsnorm_f32(&mut x[r * hidden..(r + 1) * hidden], 1e-5);
+    }
+    let mut logits = vec![0.0f32; len * cfg.vocab];
+    for r in 0..len {
+        for vtok in 0..cfg.vocab {
+            let mut acc = 0.0;
+            for h in 0..hidden {
+                acc += x[r * hidden + h] * embed[vtok * hidden + h];
+            }
+            logits[r * cfg.vocab + vtok] = acc;
+        }
+    }
+    logits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelId;
+    use crate::weights::ModelWeights;
+    use hexsim::prelude::*;
+    use htpops::gemm::DequantVariant;
+
+    #[test]
+    fn reference_is_deterministic_and_causal() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let cfg = ModelConfig::for_id(ModelId::Tiny);
+        let w = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 9).unwrap();
+        let a = forward_reference(&cfg, &w, &[10, 20, 30]);
+        let b = forward_reference(&cfg, &w, &[10, 20, 30]);
+        assert_eq!(a, b);
+        // Causality: changing a later token must not affect earlier logits.
+        let c = forward_reference(&cfg, &w, &[10, 20, 99]);
+        let vocab = cfg.vocab;
+        assert_eq!(&a[..vocab], &c[..vocab]);
+        assert_eq!(&a[vocab..2 * vocab], &c[vocab..2 * vocab]);
+        assert_ne!(&a[2 * vocab..], &c[2 * vocab..]);
+    }
+}

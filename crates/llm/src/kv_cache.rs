@@ -1,0 +1,271 @@
+//! Batched KV cache with a fixed context budget.
+//!
+//! The runtime allocates the cache in NPU shared memory up front at a fixed
+//! token budget (the paper reports constant dmabuf totals at a 4096-token
+//! budget, Section 7.5), so capacity is reserved at construction and
+//! appends fail past the budget. Layout is `[layer][seq][pos][kv_dim]` with
+//! K and V separated; per-head contiguous `[nkv, head_dim]` views are
+//! materialized for the FlashAttention kernel.
+
+use hexsim::f16::F16;
+use hexsim::prelude::*;
+
+use crate::config::ModelConfig;
+
+/// Batched per-layer KV storage.
+pub struct KvCache {
+    layers: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    batch: usize,
+    budget: usize,
+    /// `k[layer][seq]`: flat `[len, kv_dim]` rows.
+    k: Vec<Vec<Vec<F16>>>,
+    /// Same shape for values.
+    v: Vec<Vec<Vec<F16>>>,
+    /// Tokens stored per sequence.
+    len: Vec<usize>,
+    /// DDR residency handle (shape accounting; freed with the context).
+    pub buf: DdrBuffer,
+}
+
+impl KvCache {
+    /// Allocates a cache for `batch` sequences with a *total* token budget
+    /// shared across the batch (prompt + completions), reserving the DDR
+    /// footprint immediately.
+    pub fn new(
+        ctx: &mut NpuContext,
+        cfg: &ModelConfig,
+        batch: usize,
+        budget: usize,
+    ) -> SimResult<Self> {
+        let bytes = cfg.kv_cache_bytes(budget);
+        let buf = ctx.ddr_alloc(bytes)?;
+        let functional = ctx.mode == ExecMode::Functional;
+        let (k, v) = if functional {
+            let mk = || {
+                (0..cfg.layers)
+                    .map(|_| (0..batch).map(|_| Vec::new()).collect())
+                    .collect()
+            };
+            (mk(), mk())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Ok(KvCache {
+            layers: cfg.layers,
+            kv_heads: cfg.kv_heads,
+            head_dim: cfg.head_dim,
+            batch,
+            budget,
+            k,
+            v,
+            len: vec![0; batch],
+            buf,
+        })
+    }
+
+    /// Number of sequences.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Tokens stored for a sequence.
+    pub fn len(&self, seq: usize) -> usize {
+        self.len[seq]
+    }
+
+    /// Returns `true` if no tokens are stored for the sequence.
+    pub fn is_empty(&self, seq: usize) -> bool {
+        self.len[seq] == 0
+    }
+
+    /// Total tokens across the batch.
+    pub fn total_tokens(&self) -> usize {
+        self.len.iter().sum()
+    }
+
+    /// Appends one position's K/V rows (`[kv_dim]` each) for a sequence at
+    /// a layer. Length bookkeeping advances when `layer == 0`.
+    ///
+    /// Returns an error when the shared budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches in functional mode.
+    pub fn append(
+        &mut self,
+        layer: usize,
+        seq: usize,
+        k_row: &[F16],
+        v_row: &[F16],
+        functional: bool,
+    ) -> SimResult<()> {
+        if layer == 0 {
+            if self.total_tokens() + 1 > self.budget {
+                return Err(SimError::Unsupported {
+                    reason: format!("KV budget of {} tokens exhausted", self.budget),
+                });
+            }
+            self.len[seq] += 1;
+        }
+        if functional {
+            let kv_dim = self.kv_heads * self.head_dim;
+            assert_eq!(k_row.len(), kv_dim);
+            assert_eq!(v_row.len(), kv_dim);
+            self.k[layer][seq].extend_from_slice(k_row);
+            self.v[layer][seq].extend_from_slice(v_row);
+        }
+        Ok(())
+    }
+
+    /// Cost-only helper: marks `n` tokens as present for a sequence
+    /// without storing data (used by latency sweeps to set up a context
+    /// length directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fill would exceed the budget or the cache is
+    /// functional (data-carrying caches must use `append`).
+    pub fn fast_fill(&mut self, seq: usize, n: usize) {
+        assert!(self.k.is_empty(), "fast_fill is for cost-only caches");
+        let others: usize = self
+            .len
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != seq)
+            .map(|(_, l)| l)
+            .sum();
+        assert!(others + n <= self.budget, "fast_fill exceeds KV budget");
+        self.len[seq] = n;
+    }
+
+    /// Copies sequence 0's cache into every other sequence (prompt
+    /// broadcast after a shared prefill; test-time scaling fans one prompt
+    /// out to N samples).
+    pub fn broadcast_prompt(&mut self, functional: bool) {
+        let n0 = self.len[0];
+        for s in 1..self.batch {
+            self.len[s] = n0;
+        }
+        if functional {
+            for layer in 0..self.layers {
+                let (k0, v0) = (self.k[layer][0].clone(), self.v[layer][0].clone());
+                for s in 1..self.batch {
+                    self.k[layer][s] = k0.clone();
+                    self.v[layer][s] = v0.clone();
+                }
+            }
+        }
+    }
+
+    /// Materializes contiguous `[nkv, head_dim]` K and V matrices for one
+    /// KV head of one sequence at one layer (the FlashAttention input
+    /// view). Functional mode only.
+    pub fn head_view(&self, layer: usize, seq: usize, head: usize) -> (Vec<F16>, Vec<F16>) {
+        let kv_dim = self.kv_heads * self.head_dim;
+        let n = self.len[seq];
+        let mut k_out = Vec::with_capacity(n * self.head_dim);
+        let mut v_out = Vec::with_capacity(n * self.head_dim);
+        for pos in 0..n {
+            let base = pos * kv_dim + head * self.head_dim;
+            k_out.extend_from_slice(&self.k[layer][seq][base..base + self.head_dim]);
+            v_out.extend_from_slice(&self.v[layer][seq][base..base + self.head_dim]);
+        }
+        (k_out, v_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelId};
+
+    fn setup(batch: usize, budget: usize) -> (NpuContext, KvCache, ModelConfig) {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let cfg = ModelConfig::for_id(ModelId::Tiny);
+        let cache = KvCache::new(&mut ctx, &cfg, batch, budget).unwrap();
+        (ctx, cache, cfg)
+    }
+
+    fn row(cfg: &ModelConfig, tag: f32) -> Vec<F16> {
+        (0..cfg.kv_dim())
+            .map(|i| F16::from_f32(tag + i as f32 * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn append_and_view() {
+        let (_ctx, mut cache, cfg) = setup(2, 64);
+        for layer in 0..cfg.layers {
+            cache
+                .append(layer, 0, &row(&cfg, 1.0), &row(&cfg, 2.0), true)
+                .unwrap();
+        }
+        assert_eq!(cache.len(0), 1);
+        assert_eq!(cache.len(1), 0);
+        let (k, v) = cache.head_view(0, 0, 0);
+        assert_eq!(k.len(), cfg.head_dim);
+        assert_eq!(k[0].to_f32(), 1.0);
+        assert_eq!(v[0].to_f32(), 2.0);
+    }
+
+    #[test]
+    fn budget_enforced_across_batch() {
+        let (_ctx, mut cache, cfg) = setup(2, 3);
+        for seq_tok in [(0, 0), (1, 0), (0, 1)] {
+            let _ = seq_tok;
+        }
+        cache.append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
+        cache.append(0, 1, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
+        cache.append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
+        let err = cache
+            .append(0, 1, &row(&cfg, 0.0), &row(&cfg, 0.0), true)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn broadcast_prompt_copies_seq0() {
+        let (_ctx, mut cache, cfg) = setup(3, 64);
+        for layer in 0..cfg.layers {
+            cache
+                .append(layer, 0, &row(&cfg, 5.0), &row(&cfg, 6.0), true)
+                .unwrap();
+        }
+        cache.broadcast_prompt(true);
+        for s in 0..3 {
+            assert_eq!(cache.len(s), 1);
+            let (k, _) = cache.head_view(1, s, 0);
+            assert_eq!(k[0].to_f32(), 5.0);
+        }
+    }
+
+    #[test]
+    fn ddr_footprint_matches_config() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen1_5B);
+        let before = ctx.ddr_mapped_bytes();
+        let _cache = KvCache::new(&mut ctx, &cfg, 16, 4096).unwrap();
+        let delta = ctx.ddr_mapped_bytes() - before;
+        assert_eq!(delta, cfg.kv_cache_bytes(4096));
+    }
+
+    #[test]
+    fn head_views_are_head_disjoint() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let mut cfg = ModelConfig::for_id(ModelId::Tiny);
+        cfg.kv_heads = 2;
+        cfg.heads = 4;
+        let mut cache = KvCache::new(&mut ctx, &cfg, 1, 8).unwrap();
+        let mut k_row = vec![F16::ZERO; cfg.kv_dim()];
+        for (i, x) in k_row.iter_mut().enumerate() {
+            *x = F16::from_f32(i as f32);
+        }
+        cache.append(0, 0, &k_row, &k_row, true).unwrap();
+        let (k0, _) = cache.head_view(0, 0, 0);
+        let (k1, _) = cache.head_view(0, 0, 1);
+        assert_eq!(k0[0].to_f32(), 0.0);
+        assert_eq!(k1[0].to_f32(), cfg.head_dim as f32);
+    }
+}

@@ -1,0 +1,36 @@
+//! Transformer inference substrate (llama.cpp analog) for the EuroSys '26
+//! mobile-NPU test-time-scaling reproduction.
+//!
+//! Provides the model zoo the paper evaluates — Qwen 2.5 (1.5B/3B/7B) and
+//! Llama 3.2 (1B/3B) with their *published* architectural dimensions — plus
+//! a tiny functional configuration for bit-level testing. Real checkpoints
+//! are unavailable (see DESIGN.md), so weights are seeded synthetic
+//! Gaussians; throughput/latency/memory results depend only on shapes and
+//! layouts, which are exact.
+//!
+//! - [`config`] — model architectures (the Figure 15 weight shapes fall out
+//!   of these numbers).
+//! - [`weights`] — synthetic quantized weights resident in simulated DDR
+//!   (Q4_0 everywhere, Q8_0 for the FFN down projection, per Section 7.1),
+//!   with dmabuf-style memory accounting (Figure 16).
+//! - [`kv_cache`] — batched KV cache with a fixed context budget.
+//! - [`model`] — the NPU forward pass: every matmul through
+//!   [`htpops::gemm`], attention through the paper's FP16 FlashAttention,
+//!   lm_head on the CPU (Section 7.2.2's deliberate placement).
+//! - [`cpu_ref`] — f32 reference forward for validation.
+//! - [`tokenizer`] — deterministic byte-level tokenizer for the synthetic
+//!   math workloads.
+//! - [`ppl`] — teacher-forced perplexity and logit-divergence measurement.
+
+pub mod config;
+pub mod cpu_ref;
+pub mod kv_cache;
+pub mod model;
+pub mod ppl;
+pub mod tokenizer;
+pub mod weights;
+
+pub use config::{ModelConfig, ModelId};
+pub use kv_cache::KvCache;
+pub use model::{DecodeOutput, Model, StepCost};
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,715 @@
+//! The NPU transformer forward pass: batched prefill and decode.
+//!
+//! Operator placement follows the paper's runtime (Section 6/7.2.2):
+//! projections, attention, norms and activations run on the NPU; the
+//! embedding lookup, the vocabulary projection (lm_head) and sampling stay
+//! on the CPU, because the Hexagon session's 32-bit address space cannot
+//! hold the logits tensor of a modern vocabulary. That placement is what
+//! caps decode throughput scaling at large batch (Figure 11's discussion:
+//! at batch 16 the CPU logits share approaches 50%).
+//!
+//! In functional mode (tiny models) every value is computed bit-faithfully
+//! through the kernel crate; in cost-only mode (paper-scale models) the
+//! same code path charges identical per-shape costs via `replay`.
+
+use hexsim::f16::F16;
+use hexsim::prelude::*;
+use htpops::attention::{AttnShape, FlashAttention};
+use htpops::exp_lut::{ExpLut16, ExpMethod};
+use htpops::gemm::{gemm_mixed, DequantVariant, GemmConfig, PreparedWeights};
+use htpops::misc;
+
+use crate::config::{ModelConfig, ModelId};
+use crate::kv_cache::KvCache;
+use crate::weights::ModelWeights;
+
+/// Wall-time cost of one model step, by operator class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepCost {
+    /// Weight GEMMs (dequant + HMX), seconds.
+    pub gemm_secs: f64,
+    /// Attention (FlashAttention incl. KV streaming), seconds.
+    pub attn_secs: f64,
+    /// Norms, RoPE, activations, residuals, seconds.
+    pub misc_secs: f64,
+    /// CPU work: embedding, lm_head, sampling, seconds.
+    pub cpu_secs: f64,
+}
+
+impl StepCost {
+    /// NPU wall seconds (sequential kernel composition).
+    pub fn npu_secs(&self) -> f64 {
+        self.gemm_secs + self.attn_secs + self.misc_secs
+    }
+
+    /// Total wall seconds. The CPU logits pass serializes with the NPU
+    /// (sampling feeds the next step), matching the paper's observation.
+    pub fn wall_secs(&self) -> f64 {
+        self.npu_secs() + self.cpu_secs
+    }
+
+    /// Accumulates another step's cost.
+    pub fn add(&mut self, other: &StepCost) {
+        self.gemm_secs += other.gemm_secs;
+        self.attn_secs += other.attn_secs;
+        self.misc_secs += other.misc_secs;
+        self.cpu_secs += other.cpu_secs;
+    }
+}
+
+/// Output of one decode step.
+#[derive(Debug)]
+pub struct DecodeOutput {
+    /// Logits `[batch, vocab]` (empty in cost-only mode).
+    pub logits: Vec<f32>,
+    /// Cost breakdown of the step.
+    pub cost: StepCost,
+}
+
+/// A model instance bound to one NPU context.
+pub struct Model {
+    /// Architecture.
+    pub cfg: ModelConfig,
+    /// Weights (NPU-resident + float reference copies).
+    pub weights: ModelWeights,
+    /// The TCM-resident exp LUT.
+    pub lut: ExpLut16,
+    /// Exp method used inside attention.
+    pub exp_method: ExpMethod,
+    /// HVX threads for weight dequantization (the op library's thread
+    /// pool; kernels saturate the six scalar contexts).
+    pub threads: u32,
+    /// Per-operator dispatch overhead in seconds: command submission over
+    /// the shared-memory ring, cache maintenance, and inter-op
+    /// synchronization. Calibrated at 100 us so end-to-end decode matches
+    /// the paper's Figure 11 absolute throughput (the paper notes decode
+    /// is constrained by per-step overheads beyond raw kernel time).
+    pub op_dispatch_secs: f64,
+}
+
+impl Model {
+    /// Builds a model: exp LUT, weights, and DDR residency.
+    pub fn new(
+        ctx: &mut NpuContext,
+        id: ModelId,
+        variant: DequantVariant,
+        seed: u64,
+    ) -> SimResult<Self> {
+        let cfg = ModelConfig::for_id(id);
+        let lut = ExpLut16::build(ctx)?;
+        let weights = ModelWeights::build(ctx, &cfg, variant, seed)?;
+        Ok(Model {
+            cfg,
+            weights,
+            lut,
+            exp_method: ExpMethod::Lut16,
+            threads: 6,
+            op_dispatch_secs: 100e-6,
+        })
+    }
+
+    fn gemm(
+        &self,
+        ctx: &mut NpuContext,
+        w: &PreparedWeights,
+        act: &[F16],
+        m: usize,
+    ) -> (Vec<F16>, f64) {
+        let cfg = GemmConfig {
+            m,
+            k: w.k,
+            n: w.n,
+            scheme: w.scheme,
+            variant: w.variant,
+            threads: self.threads,
+        };
+        let r = gemm_mixed(ctx, &cfg, w, act);
+        (r.out, r.cost.wall_secs)
+    }
+
+    /// Runs misc row kernels over `rows` rows: functional mode applies `f`
+    /// to each real row; cost-only replays one dummy row.
+    fn per_row(
+        ctx: &mut NpuContext,
+        functional: bool,
+        rows: usize,
+        row_len: usize,
+        mut f: impl FnMut(&mut NpuContext, usize, &mut [F16]),
+        data: &mut [F16],
+    ) {
+        if functional {
+            for r in 0..rows {
+                let (lo, hi) = (r * row_len, (r + 1) * row_len);
+                f(ctx, r, &mut data[lo..hi]);
+            }
+        } else {
+            let mut dummy = vec![F16::ONE; row_len];
+            ctx.replay(rows as u64, |ctx| f(ctx, 0, &mut dummy));
+        }
+    }
+
+    /// CPU logits pass: `rows` hidden states against the full vocabulary.
+    /// Charges the CPU roofline (weights stream at ~1 byte/param, logits
+    /// write in f32); functional mode computes real logits from the tied
+    /// embedding.
+    fn lm_head(
+        &self,
+        ctx: &mut NpuContext,
+        x: &[F16],
+        rows: usize,
+        functional: bool,
+    ) -> Vec<f32> {
+        let (hidden, vocab) = (self.cfg.hidden, self.cfg.vocab);
+        let flops = 2 * rows as u64 * hidden as u64 * vocab as u64;
+        let bytes = (vocab * hidden) as u64 + (rows * vocab * 4) as u64;
+        ctx.cost.charge_cpu(flops, bytes);
+        if !functional {
+            return Vec::new();
+        }
+        let mut logits = vec![0.0f32; rows * vocab];
+        for r in 0..rows {
+            for v in 0..vocab {
+                let mut acc = 0.0f32;
+                for h in 0..hidden {
+                    acc += x[r * hidden + h].to_f32() * self.weights.embed[v * hidden + h];
+                }
+                logits[r * vocab + v] = acc;
+            }
+        }
+        logits
+    }
+
+    /// One transformer layer over `rows` rows of `x`, appending KV and
+    /// attending per sequence. `positions[s]` is the absolute position of
+    /// sequence `s`'s current token (decode) or the prefill start.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_forward(
+        &self,
+        ctx: &mut NpuContext,
+        layer: usize,
+        x: &mut Vec<F16>,
+        rows: usize,
+        cache: &mut KvCache,
+        seqs: &[usize],
+        start_pos: usize,
+        prefill: bool,
+        cost: &mut StepCost,
+    ) -> SimResult<()> {
+        let cfg = &self.cfg;
+        let functional = ctx.mode == ExecMode::Functional;
+        let lw = &self.weights.layers[layer];
+        let (hidden, q_dim, kv_dim, d) = (cfg.hidden, cfg.q_dim(), cfg.kv_dim(), cfg.head_dim);
+
+        // Attention RMSNorm.
+        let snap = ctx.cost.snapshot();
+        let mut normed = x.clone();
+        let norm_w = lw.attn_norm.clone();
+        Self::per_row(
+            ctx,
+            functional,
+            rows,
+            hidden,
+            |ctx, _, row| misc::rmsnorm(ctx, row, &norm_w, 1e-5),
+            &mut normed,
+        );
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        // QKV projections.
+        let (mut q, tq) = self.gemm(ctx, &lw.wq, &normed, rows);
+        let (mut k, tk) = self.gemm(ctx, &lw.wk, &normed, rows);
+        let (v, tv) = self.gemm(ctx, &lw.wv, &normed, rows);
+        cost.gemm_secs += tq + tk + tv;
+
+        // RoPE on Q and K per head, then cache append.
+        let snap = ctx.cost.snapshot();
+        if functional {
+            for r in 0..rows {
+                let pos = if prefill { start_pos + r } else { start_pos };
+                for h in 0..cfg.heads {
+                    misc::rope(ctx, &mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d], pos, cfg.rope_theta);
+                }
+                for h in 0..cfg.kv_heads {
+                    misc::rope(ctx, &mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d], pos, cfg.rope_theta);
+                }
+            }
+        } else {
+            let mut dummy = vec![F16::ONE; d];
+            ctx.replay((rows * (cfg.heads + cfg.kv_heads)) as u64, |ctx| {
+                misc::rope(ctx, &mut dummy, 1, cfg.rope_theta)
+            });
+        }
+        if prefill {
+            // All rows belong to the single prefilled sequence.
+            for r in 0..rows {
+                let (kr, vr) = if functional {
+                    (
+                        k[r * kv_dim..(r + 1) * kv_dim].to_vec(),
+                        v[r * kv_dim..(r + 1) * kv_dim].to_vec(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                cache.append(layer, seqs[0], &kr, &vr, functional)?;
+            }
+        } else {
+            // Decode: one new row per sequence.
+            for (r, &s) in seqs.iter().enumerate() {
+                let (kr, vr) = if functional {
+                    (
+                        k[r * kv_dim..(r + 1) * kv_dim].to_vec(),
+                        v[r * kv_dim..(r + 1) * kv_dim].to_vec(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                cache.append(layer, s, &kr, &vr, functional)?;
+            }
+        }
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        // Attention per sequence, per KV head, GQA-group batched.
+        let g = cfg.gqa_group();
+        let fa = FlashAttention::new(&self.lut, self.exp_method, g);
+        let mut attn_out = vec![F16::ZERO; rows * q_dim];
+        if prefill {
+            // One sequence, `rows` query positions.
+            let s = seqs[0];
+            let nkv = cache.len(s);
+            for h in 0..cfg.kv_heads {
+                let shape = AttnShape {
+                    nq: rows,
+                    nkv,
+                    head_dim: d,
+                };
+                let (qs, ks, vs) = if functional {
+                    let mut qs = Vec::with_capacity(g * rows * d);
+                    for gh in 0..g {
+                        let qh = h * g + gh;
+                        for r in 0..rows {
+                            qs.extend_from_slice(&q[r * q_dim + qh * d..r * q_dim + (qh + 1) * d]);
+                        }
+                    }
+                    let (ks, vs) = cache.head_view(layer, s, h);
+                    (qs, ks, vs)
+                } else {
+                    (Vec::new(), Vec::new(), Vec::new())
+                };
+                let (out, bd) = fa.run_causal(ctx, shape, &qs, &ks, &vs, start_pos);
+                cost.attn_secs += bd.total_wall();
+                if functional {
+                    for gh in 0..g {
+                        let qh = h * g + gh;
+                        for r in 0..rows {
+                            let src = (gh * rows + r) * d;
+                            attn_out[r * q_dim + qh * d..r * q_dim + (qh + 1) * d]
+                                .copy_from_slice(&out[src..src + d]);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Decode: each sequence attends to its own cache, one query
+            // position per head.
+            for (r, &s) in seqs.iter().enumerate() {
+                let nkv = cache.len(s);
+                for h in 0..cfg.kv_heads {
+                    let shape = AttnShape {
+                        nq: 1,
+                        nkv,
+                        head_dim: d,
+                    };
+                    let (qs, ks, vs) = if functional {
+                        let mut qs = Vec::with_capacity(g * d);
+                        for gh in 0..g {
+                            let qh = h * g + gh;
+                            qs.extend_from_slice(&q[r * q_dim + qh * d..r * q_dim + (qh + 1) * d]);
+                        }
+                        let (ks, vs) = cache.head_view(layer, s, h);
+                        (qs, ks, vs)
+                    } else {
+                        (Vec::new(), Vec::new(), Vec::new())
+                    };
+                    let (out, bd) = fa.run(ctx, shape, &qs, &ks, &vs);
+                    cost.attn_secs += bd.total_wall();
+                    if functional {
+                        for gh in 0..g {
+                            let qh = h * g + gh;
+                            attn_out[r * q_dim + qh * d..r * q_dim + (qh + 1) * d]
+                                .copy_from_slice(&out[gh * d..(gh + 1) * d]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Output projection + residual.
+        let (o, to) = self.gemm(ctx, &lw.wo, &attn_out, rows);
+        cost.gemm_secs += to;
+        let snap = ctx.cost.snapshot();
+        if functional {
+            for (xi, oi) in x.iter_mut().zip(&o) {
+                *xi = xi.add(*oi);
+            }
+        }
+        ctx.replay(rows as u64, |ctx| {
+            ctx.cost.charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
+            ctx.cost.charge_tcm_bytes(hidden as u64 * 6);
+        });
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        // FFN: norm, gate/up, SiLU, mul, down (Q8), residual.
+        let snap = ctx.cost.snapshot();
+        let mut ffn_in = x.clone();
+        let ffn_norm = lw.ffn_norm.clone();
+        Self::per_row(
+            ctx,
+            functional,
+            rows,
+            hidden,
+            |ctx, _, row| misc::rmsnorm(ctx, row, &ffn_norm, 1e-5),
+            &mut ffn_in,
+        );
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        let (mut gate, tg) = self.gemm(ctx, &lw.w_gate, &ffn_in, rows);
+        let (up, tu) = self.gemm(ctx, &lw.w_up, &ffn_in, rows);
+        cost.gemm_secs += tg + tu;
+
+        let snap = ctx.cost.snapshot();
+        Self::per_row(
+            ctx,
+            functional,
+            rows,
+            cfg.ffn,
+            |ctx, _, row| misc::silu(ctx, row),
+            &mut gate,
+        );
+        if functional {
+            misc::mul_inplace(ctx, &mut gate, &up);
+        } else {
+            let mut dummy = vec![F16::ONE; cfg.ffn];
+            let dummy2 = dummy.clone();
+            ctx.replay(rows as u64, |ctx| misc::mul_inplace(ctx, &mut dummy, &dummy2));
+        }
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        let (down, td) = self.gemm(ctx, &lw.w_down, &gate, rows);
+        cost.gemm_secs += td;
+
+        let snap = ctx.cost.snapshot();
+        if functional {
+            for (xi, di) in x.iter_mut().zip(&down) {
+                *xi = xi.add(*di);
+            }
+        }
+        ctx.replay(rows as u64, |ctx| {
+            ctx.cost.charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
+            ctx.cost.charge_tcm_bytes(hidden as u64 * 6);
+        });
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        // Per-operator dispatch overhead: ~14 NPU op submissions per layer
+        // (2 norms, 3 QKV, RoPE, attention, output proj, 2 residuals,
+        // gate/up/down, SwiGLU), each paying ring submission + cache
+        // maintenance + completion sync.
+        let dispatches = 14.0;
+        let overhead = dispatches * self.op_dispatch_secs;
+        ctx.cost.charge_secs(hexsim::cost::Engine::Scalar, overhead);
+        cost.misc_secs += overhead;
+        Ok(())
+    }
+
+    /// Prefills one sequence with `tokens`, filling its KV cache. Returns
+    /// the cost and (functional mode) the logits of the final position.
+    pub fn prefill(
+        &self,
+        ctx: &mut NpuContext,
+        cache: &mut KvCache,
+        seq: usize,
+        tokens: &[u32],
+    ) -> SimResult<DecodeOutput> {
+        self.prefill_impl(ctx, cache, seq, tokens, false)
+    }
+
+    /// Like [`Model::prefill`] but returns logits for *every* position —
+    /// the verification pass of speculative decoding (paper Section 9):
+    /// one batched forward scores a whole drafted chunk.
+    pub fn prefill_all_logits(
+        &self,
+        ctx: &mut NpuContext,
+        cache: &mut KvCache,
+        seq: usize,
+        tokens: &[u32],
+    ) -> SimResult<DecodeOutput> {
+        self.prefill_impl(ctx, cache, seq, tokens, true)
+    }
+
+    fn prefill_impl(
+        &self,
+        ctx: &mut NpuContext,
+        cache: &mut KvCache,
+        seq: usize,
+        tokens: &[u32],
+        all_logits: bool,
+    ) -> SimResult<DecodeOutput> {
+        let functional = ctx.mode == ExecMode::Functional;
+        let rows = tokens.len();
+        let hidden = self.cfg.hidden;
+        let mut cost = StepCost::default();
+        let start_pos = cache.len(seq);
+
+        // Embedding on the CPU.
+        let snap = ctx.cost.snapshot();
+        ctx.cost.charge_cpu(0, (rows * hidden * 2) as u64);
+        let mut x = if functional {
+            let mut x = Vec::with_capacity(rows * hidden);
+            for &t in tokens {
+                x.extend(self.weights.embed_row(&self.cfg, t));
+            }
+            x
+        } else {
+            Vec::new()
+        };
+        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        for layer in 0..self.cfg.layers {
+            self.layer_forward(
+                ctx,
+                layer,
+                &mut x,
+                rows,
+                cache,
+                &[seq],
+                start_pos,
+                true,
+                &mut cost,
+            )?;
+        }
+
+        // Final norm + logits: last position only for generation, every
+        // position for speculative verification.
+        let head_rows = if all_logits { rows } else { 1 };
+        let first_row = rows - head_rows;
+        let snap = ctx.cost.snapshot();
+        let final_norm = self.weights.final_norm.clone();
+        Self::per_row(
+            ctx,
+            functional,
+            head_rows,
+            hidden,
+            |ctx, _, row| misc::rmsnorm(ctx, row, &final_norm, 1e-5),
+            if functional {
+                &mut x[first_row * hidden..]
+            } else {
+                &mut []
+            },
+        );
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        let snap = ctx.cost.snapshot();
+        let logits = if functional {
+            self.lm_head(ctx, &x[first_row * hidden..], head_rows, true)
+        } else {
+            self.lm_head(ctx, &[], head_rows, false)
+        };
+        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        ctx.cost.clear_phases();
+        Ok(DecodeOutput { logits, cost })
+    }
+
+    /// One batched decode step: `tokens[i]` is the newest token of
+    /// sequence `i`. Returns per-sequence logits and the step cost.
+    pub fn decode_step(
+        &self,
+        ctx: &mut NpuContext,
+        cache: &mut KvCache,
+        tokens: &[u32],
+    ) -> SimResult<DecodeOutput> {
+        let functional = ctx.mode == ExecMode::Functional;
+        let batch = tokens.len();
+        assert!(batch <= cache.batch(), "more tokens than cached sequences");
+        let hidden = self.cfg.hidden;
+        let mut cost = StepCost::default();
+        let seqs: Vec<usize> = (0..batch).collect();
+        // Every sequence decodes at its current position (uniform batches
+        // in test-time scaling: positions coincide).
+        let start_pos = cache.len(0);
+
+        let snap = ctx.cost.snapshot();
+        ctx.cost.charge_cpu(0, (batch * hidden * 2) as u64);
+        let mut x = if functional {
+            let mut x = Vec::with_capacity(batch * hidden);
+            for &t in tokens {
+                x.extend(self.weights.embed_row(&self.cfg, t));
+            }
+            x
+        } else {
+            Vec::new()
+        };
+        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        for layer in 0..self.cfg.layers {
+            self.layer_forward(
+                ctx, layer, &mut x, batch, cache, &seqs, start_pos, false, &mut cost,
+            )?;
+        }
+
+        let snap = ctx.cost.snapshot();
+        let final_norm = self.weights.final_norm.clone();
+        Self::per_row(
+            ctx,
+            functional,
+            batch,
+            hidden,
+            |ctx, _, row| misc::rmsnorm(ctx, row, &final_norm, 1e-5),
+            &mut x,
+        );
+        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+
+        let snap = ctx.cost.snapshot();
+        let logits = self.lm_head(ctx, &x, batch, functional);
+        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        ctx.cost.clear_phases();
+        Ok(DecodeOutput { logits, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelId;
+    use crate::cpu_ref::forward_reference;
+    use crate::tokenizer::Tokenizer;
+
+    fn functional_setup() -> (NpuContext, Model, KvCache) {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 42).unwrap();
+        let cache = KvCache::new(&mut ctx, &model.cfg, 4, 256).unwrap();
+        (ctx, model, cache)
+    }
+
+    #[test]
+    fn tiny_prefill_matches_cpu_reference() {
+        let (mut ctx, model, mut cache) = functional_setup();
+        let tok = Tokenizer::new();
+        let tokens = tok.encode_with_bos("2+3=");
+        let out = model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
+        assert_eq!(out.logits.len(), model.cfg.vocab);
+
+        let ref_logits = forward_reference(&model.cfg, &model.weights, &tokens);
+        let last = &ref_logits[(tokens.len() - 1) * model.cfg.vocab..];
+        // Cosine similarity between NPU-path logits and the f32 reference.
+        let dot: f32 = out.logits.iter().zip(last).map(|(a, b)| a * b).sum();
+        let na: f32 = out.logits.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = last.iter().map(|b| b * b).sum::<f32>().sqrt();
+        let cos = dot / (na * nb);
+        assert!(cos > 0.99, "cosine {cos}");
+    }
+
+    #[test]
+    fn decode_continues_from_prefill() {
+        let (mut ctx, model, mut cache) = functional_setup();
+        let tok = Tokenizer::new();
+        let tokens = tok.encode_with_bos("12*4");
+        model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
+        cache.broadcast_prompt(true);
+        let out = model
+            .decode_step(&mut ctx, &mut cache, &[100, 101, 102, 103])
+            .unwrap();
+        assert_eq!(out.logits.len(), 4 * model.cfg.vocab);
+        assert_eq!(cache.len(0), tokens.len() + 1);
+        assert_eq!(cache.len(3), tokens.len() + 1);
+        // Batch rows see different tokens, so logits must differ.
+        let r0 = &out.logits[..model.cfg.vocab];
+        let r1 = &out.logits[model.cfg.vocab..2 * model.cfg.vocab];
+        assert!(r0 != r1);
+    }
+
+    #[test]
+    fn decode_cost_scales_sublinearly_with_batch() {
+        // The TTS premise: batch-16 decode costs far less than 16x batch-1.
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let model =
+            Model::new(&mut ctx, ModelId::Qwen1_5B, DequantVariant::CoalescedLut, 1).unwrap();
+        let mut wall = |batch: usize| {
+            let budget = batch * 1024 + batch;
+            let mut cache = KvCache::new(&mut ctx, &model.cfg, batch, budget).unwrap();
+            for s in 0..batch {
+                for _ in 0..1024 {
+                    for l in 0..model.cfg.layers {
+                        cache.append(l, s, &[], &[], false).unwrap();
+                    }
+                }
+            }
+            let out = model
+                .decode_step(&mut ctx, &mut cache, &vec![0u32; batch])
+                .unwrap();
+            ctx.ddr_free(cache.buf);
+            out.cost.wall_secs()
+        };
+        let t1 = wall(1);
+        let t16 = wall(16);
+        let ratio = t16 / t1;
+        assert!(
+            (1.0..6.0).contains(&ratio),
+            "batch-16 step should cost much less than 16x batch-1: {ratio}"
+        );
+    }
+
+    #[test]
+    fn lm_head_share_grows_with_batch_figure_11() {
+        // Paper: at batch 16 the CPU logits time approaches/exceeds 50%.
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let model =
+            Model::new(&mut ctx, ModelId::Qwen1_5B, DequantVariant::CoalescedLut, 1).unwrap();
+        let mut share = |batch: usize| {
+            let budget = batch * 512 + batch;
+            let mut cache = KvCache::new(&mut ctx, &model.cfg, batch, budget).unwrap();
+            for s in 0..batch {
+                for _ in 0..512 {
+                    for l in 0..model.cfg.layers {
+                        cache.append(l, s, &[], &[], false).unwrap();
+                    }
+                }
+            }
+            let out = model
+                .decode_step(&mut ctx, &mut cache, &vec![0u32; batch])
+                .unwrap();
+            ctx.ddr_free(cache.buf);
+            out.cost.cpu_secs / out.cost.wall_secs()
+        };
+        let s1 = share(1);
+        let s16 = share(16);
+        assert!(s16 > s1, "cpu share must grow with batch");
+        assert!(s16 > 0.35, "batch-16 cpu share {s16} (paper: ~50%)");
+        assert!(s1 < 0.35, "batch-1 cpu share {s1}");
+    }
+
+    #[test]
+    fn prefill_throughput_exceeds_decode_throughput() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let model =
+            Model::new(&mut ctx, ModelId::Qwen1_5B, DequantVariant::CoalescedLut, 1).unwrap();
+        let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, 4096).unwrap();
+        let tokens = vec![0u32; 512];
+        let out = model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
+        let prefill_tps = 512.0 / out.cost.wall_secs();
+        let step = model.decode_step(&mut ctx, &mut cache, &[0]).unwrap();
+        let decode_tps = 1.0 / step.cost.wall_secs();
+        assert!(
+            prefill_tps > 8.0 * decode_tps,
+            "prefill {prefill_tps} tok/s vs decode {decode_tps} tok/s"
+        );
+    }
+
+    #[test]
+    fn kv_budget_exhaustion_surfaces() {
+        let (mut ctx, model, _) = functional_setup();
+        let mut tiny_cache = KvCache::new(&mut ctx, &model.cfg, 1, 2).unwrap();
+        let tokens = vec![5u32, 6, 7];
+        let err = model
+            .prefill(&mut ctx, &mut tiny_cache, 0, &tokens)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported { .. }));
+    }
+}

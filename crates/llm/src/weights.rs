@@ -1,0 +1,289 @@
+//! Synthetic model weights: generation, quantization and DDR residency.
+//!
+//! Deployment quantization follows the paper (Section 7.1): Q4_0 (4.5 bpw)
+//! for attention and FFN gate/up projections, Q8_0 (8.5 bpw) for the
+//! accuracy-critical FFN down projections. All NPU-resident matrices use
+//! the tile-group layout and super-group coalescing unless a baseline
+//! variant is requested.
+//!
+//! In functional mode (tiny models) real Gaussian weights are generated,
+//! quantized and uploaded; float copies are retained for the CPU reference
+//! path. In cost-only mode (paper-scale models) only shapes and DDR
+//! residency are tracked — which is also where the Snapdragon 8 Gen 2
+//! session-VA gate fires for 3B+ models.
+
+use hexsim::f16::F16;
+use hexsim::prelude::*;
+use htpops::gemm::{prepare_weights, DequantVariant, PreparedWeights};
+use tilequant::synth::gaussian_matrix;
+use tilequant::{QuantScheme, QuantizedMatrix};
+
+use crate::config::ModelConfig;
+
+/// Float (dequantized) weights of one layer, for the CPU reference path.
+#[derive(Clone, Debug)]
+pub struct LayerFloatWeights {
+    /// `[hidden, q_dim]` query projection.
+    pub wq: Vec<f32>,
+    /// `[hidden, kv_dim]` key projection.
+    pub wk: Vec<f32>,
+    /// `[hidden, kv_dim]` value projection.
+    pub wv: Vec<f32>,
+    /// `[q_dim, hidden]` output projection.
+    pub wo: Vec<f32>,
+    /// `[hidden, ffn]` gate projection.
+    pub w_gate: Vec<f32>,
+    /// `[hidden, ffn]` up projection.
+    pub w_up: Vec<f32>,
+    /// `[ffn, hidden]` down projection.
+    pub w_down: Vec<f32>,
+}
+
+/// NPU-resident quantized weights of one layer.
+#[derive(Debug)]
+pub struct LayerNpuWeights {
+    /// Query projection.
+    pub wq: PreparedWeights,
+    /// Key projection.
+    pub wk: PreparedWeights,
+    /// Value projection.
+    pub wv: PreparedWeights,
+    /// Output projection.
+    pub wo: PreparedWeights,
+    /// FFN gate projection.
+    pub w_gate: PreparedWeights,
+    /// FFN up projection.
+    pub w_up: PreparedWeights,
+    /// FFN down projection (Q8_0).
+    pub w_down: PreparedWeights,
+    /// Attention RMSNorm weights.
+    pub attn_norm: Vec<F16>,
+    /// FFN RMSNorm weights.
+    pub ffn_norm: Vec<F16>,
+}
+
+/// All weights of a model instance.
+#[derive(Debug)]
+pub struct ModelWeights {
+    /// Per-layer NPU weights.
+    pub layers: Vec<LayerNpuWeights>,
+    /// Final RMSNorm weights.
+    pub final_norm: Vec<F16>,
+    /// Embedding matrix `[vocab, hidden]` (CPU-resident; also the lm_head
+    /// when embeddings are tied). Present in functional mode only.
+    pub embed: Vec<f32>,
+    /// Float copies for the reference path (functional mode only).
+    pub float_layers: Vec<LayerFloatWeights>,
+    /// Dequantization variant the weights are packed for.
+    pub variant: DequantVariant,
+}
+
+/// Generates, quantizes and uploads one matrix.
+fn build_matrix(
+    ctx: &mut NpuContext,
+    k: usize,
+    n: usize,
+    scheme: QuantScheme,
+    variant: DequantVariant,
+    seed: u64,
+    keep_float: bool,
+) -> SimResult<(PreparedWeights, Vec<f32>)> {
+    if ctx.mode == ExecMode::Functional {
+        // Scaled for stable forward passes: std ~ 1/sqrt(k).
+        let std = 1.0 / (k as f32).sqrt();
+        let w = gaussian_matrix(k, n, seed, std, 0.0);
+        let qm = QuantizedMatrix::quantize(&w, k, n, scheme, variant.required_layout());
+        let float = if keep_float { qm.dequantize() } else { Vec::new() };
+        let prepared = prepare_weights(ctx, &qm, variant)?;
+        Ok((prepared, float))
+    } else {
+        let qm = QuantizedMatrix {
+            k,
+            n,
+            scheme,
+            layout: variant.required_layout(),
+            bytes: Vec::new(),
+        };
+        let prepared = prepare_weights(ctx, &qm, variant)?;
+        Ok((prepared, Vec::new()))
+    }
+}
+
+impl ModelWeights {
+    /// Builds all weights for a model configuration.
+    ///
+    /// Returns [`SimError::VaSpaceExceeded`] when the device session cannot
+    /// map the model (the Snapdragon 8 Gen 2 / 3B gate of Figure 11).
+    pub fn build(
+        ctx: &mut NpuContext,
+        cfg: &ModelConfig,
+        variant: DequantVariant,
+        seed: u64,
+    ) -> SimResult<Self> {
+        let functional = ctx.mode == ExecMode::Functional;
+        let mut layers = Vec::with_capacity(cfg.layers);
+        let mut float_layers = Vec::new();
+        for l in 0..cfg.layers {
+            let s = seed.wrapping_add(1000 * l as u64);
+            let (wq, fq) = build_matrix(ctx, cfg.hidden, cfg.q_dim(), QuantScheme::Q4_0, variant, s, functional)?;
+            let (wk, fk) = build_matrix(ctx, cfg.hidden, cfg.kv_dim(), QuantScheme::Q4_0, variant, s + 1, functional)?;
+            let (wv, fv) = build_matrix(ctx, cfg.hidden, cfg.kv_dim(), QuantScheme::Q4_0, variant, s + 2, functional)?;
+            let (wo, fo) = build_matrix(ctx, cfg.q_dim(), cfg.hidden, QuantScheme::Q4_0, variant, s + 3, functional)?;
+            let (w_gate, fg) = build_matrix(ctx, cfg.hidden, cfg.ffn, QuantScheme::Q4_0, variant, s + 4, functional)?;
+            let (w_up, fu) = build_matrix(ctx, cfg.hidden, cfg.ffn, QuantScheme::Q4_0, variant, s + 5, functional)?;
+            // FFN down in Q8_0, "as existing work indicates their importance
+            // in preserving model accuracy" (Section 7.1).
+            let (w_down, fd) = build_matrix(ctx, cfg.ffn, cfg.hidden, QuantScheme::Q8_0, variant, s + 6, functional)?;
+            let attn_norm = vec![F16::ONE; cfg.hidden];
+            let ffn_norm = vec![F16::ONE; cfg.hidden];
+            layers.push(LayerNpuWeights {
+                wq,
+                wk,
+                wv,
+                wo,
+                w_gate,
+                w_up,
+                w_down,
+                attn_norm,
+                ffn_norm,
+            });
+            if functional {
+                float_layers.push(LayerFloatWeights {
+                    wq: fq,
+                    wk: fk,
+                    wv: fv,
+                    wo: fo,
+                    w_gate: fg,
+                    w_up: fu,
+                    w_down: fd,
+                });
+            }
+        }
+        let final_norm = vec![F16::ONE; cfg.hidden];
+        let embed = if functional {
+            gaussian_matrix(cfg.vocab, cfg.hidden, seed ^ 0xE3BED, 0.25, 0.0)
+        } else {
+            Vec::new()
+        };
+        Ok(ModelWeights {
+            layers,
+            final_norm,
+            embed,
+            float_layers,
+            variant,
+        })
+    }
+
+    /// Generates the *unquantized* float layers and embedding for a config
+    /// (no NPU context, no quantization) — the raw material quantization-
+    /// impact experiments quantize with different schemes.
+    pub fn generate_float(cfg: &ModelConfig, seed: u64) -> (Vec<LayerFloatWeights>, Vec<f32>) {
+        Self::generate_float_with_outliers(cfg, seed, 0.0)
+    }
+
+    /// Like [`ModelWeights::generate_float`] but with a fraction of
+    /// outlier weights in hot channels (the structure that breaks coarse
+    /// quantization; used by the Table 1 reproduction).
+    pub fn generate_float_with_outliers(
+        cfg: &ModelConfig,
+        seed: u64,
+        outlier_frac: f32,
+    ) -> (Vec<LayerFloatWeights>, Vec<f32>) {
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let s = seed.wrapping_add(1000 * l as u64);
+            let g = |k: usize, n: usize, off: u64| {
+                gaussian_matrix(k, n, s + off, 1.0 / (k as f32).sqrt(), outlier_frac)
+            };
+            layers.push(LayerFloatWeights {
+                wq: g(cfg.hidden, cfg.q_dim(), 0),
+                wk: g(cfg.hidden, cfg.kv_dim(), 1),
+                wv: g(cfg.hidden, cfg.kv_dim(), 2),
+                wo: g(cfg.q_dim(), cfg.hidden, 3),
+                w_gate: g(cfg.hidden, cfg.ffn, 4),
+                w_up: g(cfg.hidden, cfg.ffn, 5),
+                w_down: g(cfg.ffn, cfg.hidden, 6),
+            });
+        }
+        let embed = gaussian_matrix(cfg.vocab, cfg.hidden, seed ^ 0xE3BED, 0.25, 0.0);
+        (layers, embed)
+    }
+
+    /// Embedding row for a token (functional mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in cost-only mode or for out-of-range tokens.
+    pub fn embed_row(&self, cfg: &ModelConfig, token: u32) -> Vec<F16> {
+        let t = token as usize;
+        assert!(t < cfg.vocab, "token {t} out of vocabulary");
+        self.embed[t * cfg.hidden..(t + 1) * cfg.hidden]
+            .iter()
+            .map(|&v| F16::from_f32(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelId};
+
+    #[test]
+    fn tiny_model_builds_functionally() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let cfg = ModelConfig::for_id(ModelId::Tiny);
+        let w = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+        assert_eq!(w.layers.len(), 2);
+        assert_eq!(w.float_layers.len(), 2);
+        assert_eq!(w.float_layers[0].wq.len(), 64 * 64);
+        assert_eq!(w.embed.len(), 256 * 64);
+        // DDR now holds all seven matrices per layer.
+        assert!(ctx.ddr_mapped_bytes() > 0);
+    }
+
+    #[test]
+    fn paper_model_builds_shape_only() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen1_5B);
+        let w = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+        assert_eq!(w.layers.len(), 28);
+        assert!(w.float_layers.is_empty());
+        // Mapped bytes should be close to the analytic weight footprint.
+        let analytic = cfg.npu_weight_bytes() as f64;
+        let mapped = ctx.ddr_mapped_bytes() as f64;
+        assert!(
+            (mapped - analytic).abs() / analytic < 0.05,
+            "mapped {mapped} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn qwen3b_fails_on_v73_session() {
+        // Figure 11's footnote: 3B+ models cannot run on Snapdragon 8 Gen 2
+        // due to the session VA limit.
+        let mut ctx = NpuContext::new(DeviceProfile::v73(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen3B);
+        let err = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+    }
+
+    #[test]
+    fn qwen1_5b_fits_on_v73_session() {
+        let mut ctx = NpuContext::new(DeviceProfile::v73(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen1_5B);
+        assert!(ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).is_ok());
+    }
+
+    #[test]
+    fn embed_row_shape() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let cfg = ModelConfig::for_id(ModelId::Tiny);
+        let w = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+        let row = w.embed_row(&cfg, 42);
+        assert_eq!(row.len(), 64);
+        // Deterministic across rebuilds with the same seed.
+        let w2 = ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+        assert_eq!(row, w2.embed_row(&cfg, 42));
+    }
+}

@@ -1,0 +1,459 @@
+//! Q4_0 and Q8_0 quantization blocks (llama.cpp-compatible semantics).
+//!
+//! A group of 32 weights shares one FP16 scale. Q4_0 stores 4-bit offsets in
+//! `[0, 15]` with an implicit bias of 8 (so dequantized values span scale x
+//! `[-8, 7]` — exactly the 16-entry table the paper's `vlut16` dequantization
+//! uses, Figure 9); Q8_0 stores signed 8-bit values. These are the two
+//! schemes the paper deploys (Q4_0 everywhere, Q8_0 for the accuracy-critical
+//! FFN down projections, Section 7.1).
+
+use hexsim::f16::F16;
+
+/// Weights per quantization group.
+pub const GROUP_SIZE: usize = 32;
+
+/// Serialized size of one [`BlockQ4_0`]: 2-byte scale + 16 bytes of nibbles.
+pub const Q4_0_BLOCK_BYTES: usize = 18;
+
+/// Serialized size of one [`BlockQ8_0`]: 2-byte scale + 32 signed bytes.
+pub const Q8_0_BLOCK_BYTES: usize = 34;
+
+/// One Q4_0 group: 32 weights as 4-bit codes plus an FP16 scale.
+///
+/// Nibble packing: byte `i` stores element `2i` in its low nibble and
+/// element `2i + 1` in its high nibble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockQ4_0 {
+    /// Group scale (`d` in llama.cpp).
+    pub scale: F16,
+    /// 32 4-bit codes, two per byte.
+    pub quants: [u8; GROUP_SIZE / 2],
+}
+
+impl BlockQ4_0 {
+    /// Quantizes 32 values with llama.cpp Q4_0 semantics: the maximum-
+    /// magnitude element maps to code 0 (value -8 x scale), preserving its
+    /// sign through a negative scale when the extreme element is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly 32 elements.
+    pub fn quantize(values: &[f32]) -> Self {
+        assert_eq!(values.len(), GROUP_SIZE);
+        let mut amax = 0.0f32;
+        let mut max = 0.0f32;
+        for &v in values {
+            if v.abs() > amax {
+                amax = v.abs();
+                max = v;
+            }
+        }
+        let d = max / -8.0;
+        let id = if d != 0.0 { 1.0 / d } else { 0.0 };
+        let scale = F16::from_f32(d);
+        let mut quants = [0u8; GROUP_SIZE / 2];
+        for i in 0..GROUP_SIZE / 2 {
+            let q0 = ((values[2 * i] * id + 8.5) as i32).clamp(0, 15) as u8;
+            let q1 = ((values[2 * i + 1] * id + 8.5) as i32).clamp(0, 15) as u8;
+            quants[i] = q0 | (q1 << 4);
+        }
+        BlockQ4_0 { scale, quants }
+    }
+
+    /// Extracts the 4-bit code of element `i` (0..32).
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        let byte = self.quants[i / 2];
+        if i.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    /// Dequantizes all 32 elements to f32.
+    pub fn dequantize(&self) -> [f32; GROUP_SIZE] {
+        let d = self.scale.to_f32();
+        let mut out = [0.0f32; GROUP_SIZE];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.code(i) as i32 - 8) as f32 * d;
+        }
+        out
+    }
+
+    /// Dequantizes element `i` as FP16 exactly the way the NPU kernel does:
+    /// `F16(code - 8) * F16(scale)` with binary16 rounding at each step.
+    pub fn dequantize_f16(&self, i: usize) -> F16 {
+        let base = F16::from_f32((self.code(i) as i32 - 8) as f32);
+        base.mul(self.scale)
+    }
+
+    /// Serializes to the 18-byte AoS wire format (scale, then nibbles).
+    pub fn to_bytes(&self) -> [u8; Q4_0_BLOCK_BYTES] {
+        let mut out = [0u8; Q4_0_BLOCK_BYTES];
+        out[0..2].copy_from_slice(&self.scale.0.to_le_bytes());
+        out[2..].copy_from_slice(&self.quants);
+        out
+    }
+
+    /// Deserializes from the 18-byte wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than 18 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let scale = F16(u16::from_le_bytes([bytes[0], bytes[1]]));
+        let mut quants = [0u8; GROUP_SIZE / 2];
+        quants.copy_from_slice(&bytes[2..Q4_0_BLOCK_BYTES]);
+        BlockQ4_0 { scale, quants }
+    }
+}
+
+/// One Q8_0 group: 32 weights as signed bytes plus an FP16 scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockQ8_0 {
+    /// Group scale.
+    pub scale: F16,
+    /// 32 signed 8-bit codes.
+    pub quants: [i8; GROUP_SIZE],
+}
+
+impl BlockQ8_0 {
+    /// Quantizes 32 values: symmetric, `scale = amax / 127`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly 32 elements.
+    pub fn quantize(values: &[f32]) -> Self {
+        assert_eq!(values.len(), GROUP_SIZE);
+        let amax = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let d = amax / 127.0;
+        let id = if d != 0.0 { 1.0 / d } else { 0.0 };
+        let scale = F16::from_f32(d);
+        let mut quants = [0i8; GROUP_SIZE];
+        for (i, q) in quants.iter_mut().enumerate() {
+            *q = (values[i] * id).round().clamp(-127.0, 127.0) as i8;
+        }
+        BlockQ8_0 { scale, quants }
+    }
+
+    /// Dequantizes all 32 elements to f32.
+    pub fn dequantize(&self) -> [f32; GROUP_SIZE] {
+        let d = self.scale.to_f32();
+        let mut out = [0.0f32; GROUP_SIZE];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.quants[i] as f32 * d;
+        }
+        out
+    }
+
+    /// Serializes to the 34-byte AoS wire format.
+    pub fn to_bytes(&self) -> [u8; Q8_0_BLOCK_BYTES] {
+        let mut out = [0u8; Q8_0_BLOCK_BYTES];
+        out[0..2].copy_from_slice(&self.scale.0.to_le_bytes());
+        for (i, &q) in self.quants.iter().enumerate() {
+            out[2 + i] = q as u8;
+        }
+        out
+    }
+
+    /// Deserializes from the 34-byte wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than 34 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let scale = F16(u16::from_le_bytes([bytes[0], bytes[1]]));
+        let mut quants = [0i8; GROUP_SIZE];
+        for (i, q) in quants.iter_mut().enumerate() {
+            *q = bytes[2 + i] as i8;
+        }
+        BlockQ8_0 { scale, quants }
+    }
+}
+
+/// The 16-entry FP16 dequantization table for Q4_0: `table[code] = code - 8`.
+///
+/// This is exactly the `vlut16` content of paper Figure 9; alternative 4-bit
+/// codecs (NF4, FP4, IQ4_NL) plug in by swapping this table.
+pub fn q4_0_lut() -> [F16; 16] {
+    std::array::from_fn(|i| F16::from_f32(i as f32 - 8.0))
+}
+
+/// NF4 (NormalFloat-4) dequantization table from the QLoRA paper, normalized
+/// to [-1, 1]. Demonstrates the paper's point that LUT-centric dequantization
+/// supports arbitrary 4-bit codecs by changing table contents only.
+pub fn nf4_lut() -> [F16; 16] {
+    const NF4: [f32; 16] = [
+        -1.0, -0.6962, -0.5251, -0.3949, -0.2844, -0.1848, -0.0911, 0.0, 0.0796, 0.1609, 0.2461,
+        0.3379, 0.4407, 0.5626, 0.7230, 1.0,
+    ];
+    std::array::from_fn(|i| F16::from_f32(NF4[i]))
+}
+
+/// One table-driven 4-bit group: 32 weights coded as indices into an
+/// arbitrary 16-entry value table (NF4, FP4, IQ4_NL, ...), plus an FP16
+/// scale.
+///
+/// This is the generalization the paper's Section 5.2.2 points at: the
+/// `vlut16` dequantization kernel supports any such codec "simply by
+/// adjusting the table contents". The codec quantizes by nearest-table-
+/// entry after normalizing the group by its absolute maximum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockTable4 {
+    /// Group scale (the group's absolute maximum).
+    pub scale: F16,
+    /// 32 4-bit table indices, two per byte (low nibble = even element).
+    pub quants: [u8; GROUP_SIZE / 2],
+}
+
+impl BlockTable4 {
+    /// Quantizes 32 values against a normalized table (entries in
+    /// `[-1, 1]`, e.g. [`nf4_lut`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly 32 elements.
+    pub fn quantize(values: &[f32], table: &[F16; 16]) -> Self {
+        assert_eq!(values.len(), GROUP_SIZE);
+        let amax = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = F16::from_f32(amax);
+        let inv = if amax > 0.0 { 1.0 / amax } else { 0.0 };
+        let mut quants = [0u8; GROUP_SIZE / 2];
+        for (i, &v) in values.iter().enumerate() {
+            let target = v * inv;
+            let mut best = 0u8;
+            let mut best_err = f32::INFINITY;
+            for (c, entry) in table.iter().enumerate() {
+                let err = (entry.to_f32() - target).abs();
+                if err < best_err {
+                    best_err = err;
+                    best = c as u8;
+                }
+            }
+            if i % 2 == 0 {
+                quants[i / 2] |= best;
+            } else {
+                quants[i / 2] |= best << 4;
+            }
+        }
+        BlockTable4 { scale, quants }
+    }
+
+    /// Extracts the 4-bit code of element `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        let byte = self.quants[i / 2];
+        if i.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    /// Dequantizes all 32 elements through the table (FP16 rounding at
+    /// each step, matching the `vlut16` + `vmpy` kernel path).
+    pub fn dequantize_f16(&self, table: &[F16; 16]) -> [F16; GROUP_SIZE] {
+        let mut out = [F16::ZERO; GROUP_SIZE];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = table[self.code(i) as usize].mul(self.scale);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Vec<f32> {
+        (0..32).map(|i| (i as f32 - 15.5) / 4.0).collect()
+    }
+
+    #[test]
+    fn q4_roundtrip_error_is_bounded() {
+        let vals = ramp();
+        let block = BlockQ4_0::quantize(&vals);
+        let deq = block.dequantize();
+        let step = block.scale.to_f32().abs();
+        // Q4_0 is asymmetric: when the negative extreme sets the scale, the
+        // positive extreme clips at code 15 with up to one full step of
+        // error; everything else stays within half a step (plus rounding).
+        for (orig, got) in vals.iter().zip(deq.iter()) {
+            assert!(
+                (orig - got).abs() <= step * 1.01 + 1e-3,
+                "orig {orig} got {got} step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn q4_extreme_element_maps_to_code_zero_or_fifteen() {
+        // Negative extreme: scale positive, code 0 => -8 * d reproduces it.
+        let mut vals = vec![0.1f32; 32];
+        vals[7] = -4.0;
+        let block = BlockQ4_0::quantize(&vals);
+        assert_eq!(block.code(7), 0);
+        assert!((block.dequantize()[7] - -4.0).abs() < 0.01);
+        // Positive extreme: scale negative, still code 0.
+        let mut vals = vec![0.1f32; 32];
+        vals[3] = 4.0;
+        let block = BlockQ4_0::quantize(&vals);
+        assert_eq!(block.code(3), 0);
+        assert!((block.dequantize()[3] - 4.0).abs() < 0.01);
+        assert!(block.scale.to_f32() < 0.0);
+    }
+
+    #[test]
+    fn q4_all_zero_group() {
+        let block = BlockQ4_0::quantize(&[0.0f32; 32]);
+        assert!(block.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn q4_codes_cover_nibble_packing() {
+        let vals = ramp();
+        let block = BlockQ4_0::quantize(&vals);
+        // code() must agree with manual nibble extraction.
+        for i in 0..32 {
+            let byte = block.quants[i / 2];
+            let manual = if i % 2 == 0 { byte & 0xf } else { byte >> 4 };
+            assert_eq!(block.code(i), manual);
+        }
+    }
+
+    #[test]
+    fn q4_wire_roundtrip() {
+        let block = BlockQ4_0::quantize(&ramp());
+        let bytes = block.to_bytes();
+        assert_eq!(BlockQ4_0::from_bytes(&bytes), block);
+    }
+
+    #[test]
+    fn q4_f16_dequant_matches_f32_within_half_ulp() {
+        let block = BlockQ4_0::quantize(&ramp());
+        for i in 0..32 {
+            let f16_path = block.dequantize_f16(i).to_f32();
+            let f32_path = block.dequantize()[i];
+            let tol = (f32_path.abs() * 1e-3).max(1e-4);
+            assert!((f16_path - f32_path).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn q8_roundtrip_tight() {
+        let vals = ramp();
+        let block = BlockQ8_0::quantize(&vals);
+        let deq = block.dequantize();
+        let step = block.scale.to_f32();
+        for (orig, got) in vals.iter().zip(deq.iter()) {
+            assert!((orig - got).abs() <= step * 0.6 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn q8_wire_roundtrip() {
+        let block = BlockQ8_0::quantize(&ramp());
+        let bytes = block.to_bytes();
+        assert_eq!(BlockQ8_0::from_bytes(&bytes), block);
+    }
+
+    #[test]
+    fn q8_error_much_smaller_than_q4() {
+        let vals: Vec<f32> = (0..32).map(|i| ((i * 37) % 17) as f32 / 5.0 - 1.6).collect();
+        let e4: f32 = BlockQ4_0::quantize(&vals)
+            .dequantize()
+            .iter()
+            .zip(&vals)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let e8: f32 = BlockQ8_0::quantize(&vals)
+            .dequantize()
+            .iter()
+            .zip(&vals)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(e8 < e4 / 16.0, "e8={e8} e4={e4}");
+    }
+
+    #[test]
+    fn lut_contents_match_codes() {
+        let lut = q4_0_lut();
+        assert_eq!(lut[0].to_f32(), -8.0);
+        assert_eq!(lut[8].to_f32(), 0.0);
+        assert_eq!(lut[15].to_f32(), 7.0);
+        let block = BlockQ4_0::quantize(&ramp());
+        for i in 0..32 {
+            let via_lut = lut[block.code(i) as usize].mul(block.scale);
+            assert_eq!(via_lut, block.dequantize_f16(i));
+        }
+    }
+
+    #[test]
+    fn nf4_lut_is_monotone() {
+        let lut = nf4_lut();
+        for i in 1..16 {
+            assert!(lut[i].to_f32() > lut[i - 1].to_f32());
+        }
+        assert_eq!(lut[0].to_f32(), -1.0);
+        assert_eq!(lut[15].to_f32(), 1.0);
+    }
+
+    #[test]
+    fn table4_nf4_roundtrip_bounded() {
+        let table = nf4_lut();
+        // Gaussian-ish values: NF4's quantile spacing should beat uniform
+        // Q4_0 on them.
+        let vals: Vec<f32> = (0..32).map(|i| ((i * 7 % 13) as f32 / 6.0 - 1.0) * 1.5).collect();
+        let block = BlockTable4::quantize(&vals, &table);
+        let deq = block.dequantize_f16(&table);
+        for (orig, got) in vals.iter().zip(deq.iter()) {
+            assert!((orig - got.to_f32()).abs() < 0.3, "{orig} vs {got}");
+        }
+    }
+
+    #[test]
+    fn table4_extremes_map_to_table_ends() {
+        let table = nf4_lut();
+        let mut vals = vec![0.0f32; 32];
+        vals[0] = 2.0;
+        vals[1] = -2.0;
+        let block = BlockTable4::quantize(&vals, &table);
+        assert_eq!(block.code(0), 15); // +1.0 entry.
+        assert_eq!(block.code(1), 0); // -1.0 entry.
+        let deq = block.dequantize_f16(&table);
+        assert_eq!(deq[0].to_f32(), 2.0);
+        assert_eq!(deq[1].to_f32(), -2.0);
+    }
+
+    #[test]
+    fn nf4_error_comparable_to_q4_0_on_gaussian_data() {
+        // Table codecs trade the uniform grid for quantile spacing; on
+        // Gaussian data NF4 is competitive with (here: within ~15% of)
+        // the asymmetric 16-level Q4_0 grid. The paper's point is not that
+        // NF4 wins but that the LUT kernel supports it for free.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut nf4_se = 0.0f64;
+        let mut q4_se = 0.0f64;
+        let table = nf4_lut();
+        for _ in 0..64 {
+            let vals: Vec<f32> = (0..32)
+                .map(|_| {
+                    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+                    let u2: f32 = rng.gen_range(0.0..1.0f32);
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                })
+                .collect();
+            let nf4 = BlockTable4::quantize(&vals, &table).dequantize_f16(&table);
+            let q4 = BlockQ4_0::quantize(&vals).dequantize();
+            for i in 0..32 {
+                nf4_se += ((vals[i] - nf4[i].to_f32()) as f64).powi(2);
+                q4_se += ((vals[i] - q4[i]) as f64).powi(2);
+            }
+        }
+        assert!(nf4_se < q4_se * 1.25, "nf4 {nf4_se} vs q4 {q4_se}");
+        assert!(q4_se < nf4_se * 1.25, "q4 {q4_se} vs nf4 {nf4_se}");
+    }
+}

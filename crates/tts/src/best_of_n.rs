@@ -1,0 +1,167 @@
+//! Best-of-N: sample N complete trajectories in parallel, pick the
+//! highest-scoring one (paper Figure 1, left).
+//!
+//! On the NPU this is the method that turns idle HMX capacity into
+//! accuracy: all N samples decode as one batch, so the marginal cost of
+//! N > 1 is small (Figure 11), while accuracy climbs with N (Figure 5).
+
+use mathsynth::mathgen::MathTask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policy::{CalibratedPolicy, Trajectory};
+use crate::verifier::SimOrm;
+
+/// Result of one Best-of-N invocation.
+#[derive(Clone, Debug)]
+pub struct BonOutcome {
+    /// The selected trajectory.
+    pub chosen: Trajectory,
+    /// Whether the selected trajectory solves the task.
+    pub correct: bool,
+    /// Whether *any* sampled trajectory solved it (the pass@N oracle).
+    pub any_correct: bool,
+    /// Mean generated tokens per sample.
+    pub mean_tokens: f64,
+}
+
+/// Runs Best-of-N on one task.
+pub fn best_of_n(
+    policy: &CalibratedPolicy,
+    orm: &SimOrm,
+    task: &MathTask,
+    n: usize,
+    seed: u64,
+) -> BonOutcome {
+    assert!(n >= 1);
+    let mut score_rng = StdRng::seed_from_u64(seed ^ task.id.wrapping_mul(0xBEEF));
+    let mut best: Option<(f64, Trajectory)> = None;
+    let mut any_correct = false;
+    let mut token_sum = 0usize;
+    for sample in 0..n {
+        let mut rng = policy.task_rng(task, seed.wrapping_add(sample as u64 * 7919));
+        let traj = policy.sample_trajectory(task, &mut rng);
+        any_correct |= traj.is_correct(task);
+        token_sum += traj.tokens;
+        let score = orm.score(&traj, task.answer, &mut score_rng);
+        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+            best = Some((score, traj));
+        }
+    }
+    let (_, chosen) = best.expect("n >= 1");
+    let correct = chosen.is_correct(task);
+    BonOutcome {
+        chosen,
+        correct,
+        any_correct,
+        mean_tokens: token_sum as f64 / n as f64,
+    }
+}
+
+/// pass@N with an oracle verifier (upper bound of Best-of-N) over a task
+/// set, in percent.
+pub fn pass_at_n_oracle(
+    policy: &CalibratedPolicy,
+    tasks: &[MathTask],
+    n: usize,
+    seed: u64,
+) -> f64 {
+    let orm = SimOrm {
+        discrimination: 1e9,
+    };
+    let solved = tasks
+        .iter()
+        .filter(|t| best_of_n(policy, &orm, t, n, seed).any_correct)
+        .count();
+    solved as f64 / tasks.len().max(1) as f64 * 100.0
+}
+
+/// Best-of-N accuracy (percent) over a task set.
+pub fn accuracy_over_tasks(
+    policy: &CalibratedPolicy,
+    orm: &SimOrm,
+    tasks: &[MathTask],
+    n: usize,
+    seed: u64,
+) -> f64 {
+    let solved = tasks
+        .iter()
+        .filter(|t| best_of_n(policy, orm, t, n, seed).correct)
+        .count();
+    solved as f64 / tasks.len().max(1) as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm::config::ModelId;
+    use mathsynth::mathgen::{DatasetKind, TaskGenerator};
+
+    fn setup() -> (CalibratedPolicy, Vec<MathTask>) {
+        let policy = CalibratedPolicy::new(ModelId::Llama1B, DatasetKind::Math500Like);
+        let tasks = TaskGenerator::new(DatasetKind::Math500Like, 21).take(800);
+        (policy, tasks)
+    }
+
+    #[test]
+    fn accuracy_increases_with_budget_figure5() {
+        let (policy, tasks) = setup();
+        let orm = SimOrm::default();
+        let a1 = accuracy_over_tasks(&policy, &orm, &tasks, 1, 3);
+        let a4 = accuracy_over_tasks(&policy, &orm, &tasks, 4, 3);
+        let a16 = accuracy_over_tasks(&policy, &orm, &tasks, 16, 3);
+        assert!(a4 > a1 + 5.0, "a1={a1} a4={a4}");
+        assert!(a16 > a4 + 3.0, "a4={a4} a16={a16}");
+        // Figure 5: Llama3.2-1B climbs from ~18-20% to ~50% at budget 16.
+        assert!((14.0..24.0).contains(&a1), "base {a1}");
+        assert!((38.0..62.0).contains(&a16), "budget-16 {a16}");
+    }
+
+    #[test]
+    fn oracle_bounds_orm_selection() {
+        let (policy, tasks) = setup();
+        let orm = SimOrm::default();
+        let with_orm = accuracy_over_tasks(&policy, &orm, &tasks, 8, 5);
+        let oracle = pass_at_n_oracle(&policy, &tasks, 8, 5);
+        assert!(oracle >= with_orm, "oracle {oracle} < orm {with_orm}");
+        // The ORM should recover most of the oracle headroom.
+        assert!(with_orm > oracle * 0.6, "orm {with_orm} oracle {oracle}");
+    }
+
+    #[test]
+    fn n_equals_one_is_plain_sampling() {
+        let (policy, tasks) = setup();
+        let weak_orm = SimOrm {
+            discrimination: 0.0,
+        };
+        let strong_orm = SimOrm::default();
+        let a_weak = accuracy_over_tasks(&policy, &weak_orm, &tasks, 1, 9);
+        let a_strong = accuracy_over_tasks(&policy, &strong_orm, &tasks, 1, 9);
+        // With n=1 the verifier is irrelevant.
+        assert!((a_weak - a_strong).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_verifier_wastes_budget() {
+        let (policy, tasks) = setup();
+        let weak = SimOrm {
+            discrimination: 0.0,
+        };
+        let strong = SimOrm::default();
+        let a_weak = accuracy_over_tasks(&policy, &weak, &tasks, 16, 11);
+        let a_strong = accuracy_over_tasks(&policy, &strong, &tasks, 16, 11);
+        assert!(
+            a_strong > a_weak + 8.0,
+            "strong {a_strong} vs weak {a_weak}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (policy, tasks) = setup();
+        let orm = SimOrm::default();
+        let a = accuracy_over_tasks(&policy, &orm, &tasks[..100], 4, 42);
+        let b = accuracy_over_tasks(&policy, &orm, &tasks[..100], 4, 42);
+        assert_eq!(a, b);
+    }
+}

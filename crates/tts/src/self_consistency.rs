@@ -1,0 +1,125 @@
+//! Self-consistency: sample N trajectories and majority-vote the answer
+//! (Wang et al., the simplest parallel test-time scaling method).
+//!
+//! Works without any reward model: numeric wrong answers rarely collide,
+//! so even a thin plurality of correct samples wins the vote.
+
+use std::collections::HashMap;
+
+use mathsynth::mathgen::MathTask;
+
+use crate::policy::CalibratedPolicy;
+
+/// Outcome of one self-consistency invocation.
+#[derive(Clone, Debug)]
+pub struct ConsistencyOutcome {
+    /// The majority answer.
+    pub answer: i64,
+    /// Whether the majority answer is correct.
+    pub correct: bool,
+    /// Number of samples agreeing with the majority.
+    pub votes: usize,
+}
+
+/// Runs self-consistency with `n` samples on one task.
+pub fn self_consistency(
+    policy: &CalibratedPolicy,
+    task: &MathTask,
+    n: usize,
+    seed: u64,
+) -> ConsistencyOutcome {
+    assert!(n >= 1);
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    let mut order: Vec<i64> = Vec::new();
+    for sample in 0..n {
+        let mut rng = policy.task_rng(task, seed.wrapping_add(sample as u64 * 104_729));
+        let traj = policy.sample_trajectory(task, &mut rng);
+        let c = counts.entry(traj.answer).or_insert(0);
+        if *c == 0 {
+            order.push(traj.answer);
+        }
+        *c += 1;
+    }
+    // Majority with first-seen tie-breaking (deterministic).
+    let mut best_answer = order[0];
+    let mut best_votes = 0usize;
+    for &ans in &order {
+        let v = counts[&ans];
+        if v > best_votes {
+            best_votes = v;
+            best_answer = ans;
+        }
+    }
+    ConsistencyOutcome {
+        answer: best_answer,
+        correct: task.verify(best_answer),
+        votes: best_votes,
+    }
+}
+
+/// Self-consistency accuracy (percent) over a task set.
+pub fn accuracy_over_tasks(
+    policy: &CalibratedPolicy,
+    tasks: &[MathTask],
+    n: usize,
+    seed: u64,
+) -> f64 {
+    let solved = tasks
+        .iter()
+        .filter(|t| self_consistency(policy, t, n, seed).correct)
+        .count();
+    solved as f64 / tasks.len().max(1) as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgellm::config::ModelId;
+    use mathsynth::mathgen::{DatasetKind, TaskGenerator};
+
+    fn setup() -> (CalibratedPolicy, Vec<MathTask>) {
+        let policy = CalibratedPolicy::new(ModelId::Qwen1_5B, DatasetKind::Gsm8kLike);
+        let tasks = TaskGenerator::new(DatasetKind::Gsm8kLike, 41).take(600);
+        (policy, tasks)
+    }
+
+    #[test]
+    fn majority_voting_improves_accuracy() {
+        let (policy, tasks) = setup();
+        let a1 = accuracy_over_tasks(&policy, &tasks, 1, 3);
+        let a9 = accuracy_over_tasks(&policy, &tasks, 9, 3);
+        assert!(a9 > a1 + 5.0, "1-sample {a1} vs 9-sample {a9}");
+    }
+
+    #[test]
+    fn correct_answers_cluster() {
+        // With p > 0.5 on easy tasks, the vote should almost always win.
+        let (policy, tasks) = setup();
+        let easy: Vec<_> = tasks
+            .iter()
+            .filter(|t| t.difficulty < 0.15)
+            .cloned()
+            .collect();
+        if easy.is_empty() {
+            return;
+        }
+        let acc = accuracy_over_tasks(&policy, &easy, 15, 5);
+        assert!(acc > 85.0, "easy-task consistency accuracy {acc}");
+    }
+
+    #[test]
+    fn single_sample_equals_plain_sampling() {
+        let (policy, tasks) = setup();
+        let out = self_consistency(&policy, &tasks[0], 1, 7);
+        assert_eq!(out.votes, 1);
+    }
+
+    #[test]
+    fn votes_never_exceed_n() {
+        let (policy, tasks) = setup();
+        for t in tasks.iter().take(50) {
+            let out = self_consistency(&policy, t, 7, 9);
+            assert!(out.votes >= 1 && out.votes <= 7);
+        }
+    }
+}

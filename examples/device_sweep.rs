@@ -1,0 +1,51 @@
+//! Device sweep: decode/prefill throughput, power, and memory across the
+//! three Snapdragon generations (Figures 11, 12, 16 in one view).
+//!
+//! Run with: `cargo run --release --example device_sweep`
+
+use npuscale_repro::prelude::*;
+use npuscale::memory::measure_overhead;
+
+fn main() {
+    for device in DeviceProfile::all() {
+        println!(
+            "\n=== {} / {} (Hexagon {:?}) ===",
+            device.name, device.soc, device.arch
+        );
+        let pm = PowerModel::new(device.clone());
+        for model in [ModelId::Llama1B, ModelId::Qwen1_5B, ModelId::Qwen3B] {
+            print!("{:<6}", model.label());
+            match measure_decode(&device, model, 1, 1024) {
+                Ok(p1) => {
+                    let p8 = measure_decode(&device, model, 8, 1024).unwrap();
+                    let p16 = measure_decode(&device, model, 16, 1024).unwrap();
+                    let power = pm.measure(&p8);
+                    let mem = measure_overhead(model, &p8, 4096);
+                    println!(
+                        " decode b1/b8/b16: {:>5.1}/{:>5.1}/{:>6.1} tok/s | {:>4.2} W @ b8 | dmabuf {:>5.0} MiB",
+                        p1.tokens_per_sec,
+                        p8.tokens_per_sec,
+                        p16.tokens_per_sec,
+                        power.power_w,
+                        mem.dmabuf_mib
+                    );
+                }
+                Err(e) => println!(" cannot run: {e}"),
+            }
+        }
+        // Prefill at a few prompt lengths (Figure 13 upper panels).
+        for model in [ModelId::Qwen1_5B] {
+            print!("{:<6} prefill", model.label());
+            for prompt in [256usize, 1024, 2048] {
+                if let Ok(p) = measure_prefill(&device, model, prompt) {
+                    print!("  {}t: {:>6.0} tok/s", prompt, p.tokens_per_sec);
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nNote: Qwen3B fails on the 8G2 with a session VA-space error — the\n\
+         exact gate the paper reports for Snapdragon 8 Gen 2 (Section 7.2.1)."
+    );
+}

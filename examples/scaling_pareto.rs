@@ -1,0 +1,65 @@
+//! The paper's headline result: small models + test-time scaling beat
+//! larger models on the accuracy-cost Pareto frontier (Figure 10).
+//!
+//! Sweeps Best-of-N and step-level beam search budgets for the on-device
+//! models, measures per-token decode latency through the full simulated
+//! pipeline, and prints which TTS points dominate which baseline points.
+//!
+//! Run with: `cargo run --release --example scaling_pareto`
+
+use npuscale_repro::prelude::*;
+use npuscale::pareto::{dominates, pareto_panel, Method};
+
+fn main() {
+    let device = DeviceProfile::v75();
+    let dataset = DatasetKind::Math500Like;
+    println!(
+        "accuracy vs per-token decode latency - {} on {} (simulated)",
+        dataset.label(),
+        device.name
+    );
+
+    for method in [Method::BestOfN, Method::BeamSearch] {
+        println!("\n=== {} ===", method.label());
+        let points = pareto_panel(&device, dataset, method, 42);
+        println!(
+            "{:<10} {:>7} {:>10} {:>14}",
+            "series", "budget", "accuracy", "latency/token"
+        );
+        for p in &points {
+            println!(
+                "{:<10} {:>7} {:>9.1}% {:>11.0} ms",
+                p.series,
+                p.budget,
+                p.accuracy_pct,
+                p.per_token_latency_s * 1e3
+            );
+        }
+
+        // Who dominates whom: TTS points vs base points.
+        let bases: Vec<_> = points.iter().filter(|p| p.series.ends_with("base")).collect();
+        let tts: Vec<_> = points.iter().filter(|p| p.series.ends_with("TTS")).collect();
+        println!("\ndominance (TTS point beats base point on both axes):");
+        let mut any = false;
+        for b in &bases {
+            for t in &tts {
+                if dominates(t, b) {
+                    println!(
+                        "  {}@N={} ({:.1}%, {:.0} ms) dominates {} ({:.1}%, {:.0} ms)",
+                        t.series,
+                        t.budget,
+                        t.accuracy_pct,
+                        t.per_token_latency_s * 1e3,
+                        b.series,
+                        b.accuracy_pct,
+                        b.per_token_latency_s * 1e3
+                    );
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            println!("  (no strict dominance at these budgets)");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Umbrella crate for the reproduction of *"Scaling LLM Test-Time Compute
+//! with Mobile NPU on Smartphones"* (EuroSys '26).
+//!
+//! Re-exports the full stack so examples and integration tests can reach
+//! every layer through one dependency:
+//!
+//! - [`hexsim`] — the Hexagon-class NPU simulator (HVX/HMX/TCM/DMA).
+//! - [`tilequant`] — Q4_0/Q8_0, tile-group layout, super-group coalescing.
+//! - [`htpops`] — the NPU kernel library (LUT dequant, LUT softmax,
+//!   FlashAttention, mixed-precision GEMM).
+//! - [`edgellm`] — the transformer runtime (models, KV cache, forward).
+//! - [`ttscale`] — Best-of-N, beam search, self-consistency.
+//! - [`mathsynth`] — verifiable synthetic workloads.
+//! - [`npuscale`] — the end-to-end system and experiment drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use npuscale_repro::prelude::*;
+//!
+//! let device = DeviceProfile::v75();
+//! let point = measure_decode(&device, ModelId::Qwen1_5B, 8, 1024).unwrap();
+//! assert!(point.tokens_per_sec > 10.0);
+//! ```
+
+pub use edgellm;
+pub use hexsim;
+pub use htpops;
+pub use mathsynth;
+pub use npuscale;
+pub use tilequant;
+pub use ttscale;
+
+/// The most commonly used items across the stack.
+pub mod prelude {
+    pub use edgellm::config::{ModelConfig, ModelId};
+    pub use edgellm::kv_cache::KvCache;
+    pub use edgellm::model::Model;
+    pub use edgellm::tokenizer::Tokenizer;
+    pub use hexsim::prelude::*;
+    pub use htpops::exp_lut::ExpMethod;
+    pub use htpops::gemm::DequantVariant;
+    pub use mathsynth::mathgen::{DatasetKind, TaskGenerator};
+    pub use npuscale::pipeline::{measure_decode, measure_prefill};
+    pub use npuscale::power::PowerModel;
+    pub use ttscale::policy::CalibratedPolicy;
+    pub use ttscale::verifier::{SimOrm, SimPrm};
+}

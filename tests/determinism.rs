@@ -1,0 +1,67 @@
+//! Determinism guarantees: identical seeds produce identical results at
+//! every layer of the stack — the property that makes the experiment
+//! harness reproducible run to run.
+
+use npuscale_repro::prelude::*;
+use ttscale::best_of_n;
+
+#[test]
+fn weights_and_forward_are_seed_deterministic() {
+    let run = || {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 99).unwrap();
+        let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, 64).unwrap();
+        let tok = Tokenizer::new();
+        let out = model
+            .prefill(&mut ctx, &mut cache, 0, &tok.encode_with_bos("7*6="))
+            .unwrap();
+        out.logits
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let logits = |seed| {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, seed).unwrap();
+        let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, 64).unwrap();
+        let tok = Tokenizer::new();
+        model
+            .prefill(&mut ctx, &mut cache, 0, &tok.encode_with_bos("x"))
+            .unwrap()
+            .logits
+    };
+    assert_ne!(logits(1), logits(2));
+}
+
+#[test]
+fn cost_measurements_are_exactly_repeatable() {
+    let measure = || {
+        let p = measure_decode(&DeviceProfile::v75(), ModelId::Qwen1_5B, 8, 1024).unwrap();
+        (p.step_secs, p.cpu_share)
+    };
+    let (a_secs, a_share) = measure();
+    let (b_secs, b_share) = measure();
+    assert_eq!(a_secs, b_secs);
+    assert_eq!(a_share, b_share);
+}
+
+#[test]
+fn tts_accuracy_is_seed_stable() {
+    let acc = || {
+        let policy = CalibratedPolicy::new(ModelId::Qwen1_5B, DatasetKind::Math500Like);
+        let tasks = TaskGenerator::new(DatasetKind::Math500Like, 12).take(200);
+        best_of_n::accuracy_over_tasks(&policy, &SimOrm::default(), &tasks, 8, 42)
+    };
+    assert_eq!(acc(), acc());
+}
+
+#[test]
+fn experiment_rows_are_stable() {
+    let a = npuscale::experiments::fig8_rows();
+    let b = npuscale::experiments::fig8_rows();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.softmax_pct, y.softmax_pct);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the stack: binary16 arithmetic, quantization codecs,
+//! tile layouts, LUT kernels and softmax.
+
+use hexsim::f16::F16;
+use hexsim::hmx::{pack_tile, unpack_tile, TILE_DIM};
+use hexsim::prelude::*;
+use htpops::exp_lut::ExpLut16;
+use htpops::reference::softmax_ref_f64;
+use htpops::softmax::{softmax_host, SoftmaxConfig};
+use proptest::prelude::*;
+use tilequant::block::{BlockQ4_0, BlockQ8_0, GROUP_SIZE};
+use tilequant::super_group::SuperBlockQ4;
+use tilequant::{QuantScheme, QuantizedMatrix, WeightLayout};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f16 -> f32 -> f16 is the identity for every non-NaN bit pattern.
+    #[test]
+    fn f16_f32_roundtrip(bits in 0u16..=0xffff) {
+        let h = F16(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f32(h.to_f32()).0, bits);
+    }
+
+    /// f32 -> f16 never increases magnitude by more than half an ULP
+    /// (monotone rounding), and clamps to +-inf past the max finite value.
+    #[test]
+    fn f16_rounding_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let hlo = F16::from_f32(lo).to_f32();
+        let hhi = F16::from_f32(hi).to_f32();
+        prop_assert!(hlo <= hhi, "rounding must preserve order: {} {} -> {} {}", lo, hi, hlo, hhi);
+    }
+
+    /// Q4_0 reconstruction error is bounded by one quantization step.
+    #[test]
+    fn q4_error_bounded(values in prop::collection::vec(-8.0f32..8.0, GROUP_SIZE)) {
+        let block = BlockQ4_0::quantize(&values);
+        let deq = block.dequantize();
+        let step = block.scale.to_f32().abs().max(1e-6);
+        for (orig, got) in values.iter().zip(deq.iter()) {
+            prop_assert!((orig - got).abs() <= step * 1.01 + 1e-3);
+        }
+    }
+
+    /// Q8_0 reconstruction error is bounded by one step.
+    #[test]
+    fn q8_error_bounded(values in prop::collection::vec(-100.0f32..100.0, GROUP_SIZE)) {
+        let block = BlockQ8_0::quantize(&values);
+        let deq = block.dequantize();
+        let step = block.scale.to_f32().abs().max(1e-6);
+        for (orig, got) in values.iter().zip(deq.iter()) {
+            prop_assert!((orig - got).abs() <= step * 0.75 + 1e-3);
+        }
+    }
+
+    /// Super-group coalescing is lossless: to_blocks inverts from_blocks.
+    #[test]
+    fn super_group_roundtrip(values in prop::collection::vec(-4.0f32..4.0, 256)) {
+        let blocks: [BlockQ4_0; 8] = std::array::from_fn(|g| {
+            BlockQ4_0::quantize(&values[g * 32..(g + 1) * 32])
+        });
+        let sb = SuperBlockQ4::from_blocks(&blocks);
+        prop_assert_eq!(sb.to_blocks(), blocks);
+        let wire = SuperBlockQ4::from_bytes(&sb.to_bytes());
+        prop_assert_eq!(wire, sb);
+    }
+
+    /// The HMX tile layout is a bijection: pack then unpack is identity.
+    #[test]
+    fn tile_pack_unpack_identity(seed in 0u64..1000) {
+        let mut tile = [[F16::ZERO; TILE_DIM]; TILE_DIM];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for row in tile.iter_mut() {
+            for v in row.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = F16::from_f32(((state >> 40) as f32) / 1e6 - 8.0);
+            }
+        }
+        let packed = pack_tile(&tile);
+        let back = unpack_tile(&packed);
+        for r in 0..TILE_DIM {
+            for c in 0..TILE_DIM {
+                prop_assert_eq!(tile[r][c], back[r][c]);
+            }
+        }
+    }
+
+    /// Quantize -> dequantize keeps the layout permutation consistent:
+    /// both layouts reconstruct the same matrix up to quantization error.
+    #[test]
+    fn layouts_agree_up_to_quant_error(seed in 0u64..500) {
+        let w = tilequant::synth::gaussian_matrix(32, 64, seed, 1.0, 0.0);
+        let a = QuantizedMatrix::quantize(&w, 32, 64, QuantScheme::Q4_0, WeightLayout::ColumnMajorGroups).dequantize();
+        let b = QuantizedMatrix::quantize(&w, 32, 64, QuantScheme::Q4_0, WeightLayout::HmxTileGroups).dequantize();
+        for ((orig, x), y) in w.iter().zip(&a).zip(&b) {
+            prop_assert!((orig - x).abs() < 1.5);
+            prop_assert!((orig - y).abs() < 1.5);
+        }
+    }
+
+    /// The exp LUT agrees with f64 exp (rounded to f16) on all non-positive
+    /// finite inputs.
+    #[test]
+    fn exp_lut_matches_f64(mag_bits in 0u16..0x7c00) {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let lut = ExpLut16::build(&mut ctx).unwrap();
+        let x = F16(mag_bits | 0x8000); // Negative finite.
+        let got = lut.exp_scalar(&ctx, x);
+        let expect = F16::from_f64((x.to_f32() as f64).exp());
+        prop_assert_eq!(got.0, expect.0);
+    }
+}
+
+proptest! {
+    // Softmax runs a full kernel per case; keep the case count lower.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// LUT softmax rows sum to ~1 and match the f64 reference elementwise.
+    #[test]
+    fn softmax_rows_normalize(values in prop::collection::vec(-6.0f32..6.0, 128)) {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let lut = ExpLut16::build(&mut ctx).unwrap();
+        let cfg = SoftmaxConfig {
+            rows: 1,
+            cols: 128,
+            method: htpops::exp_lut::ExpMethod::Lut16,
+        };
+        let (got, _) = softmax_host(&mut ctx, &lut, cfg, &values);
+        let sum: f32 = got.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 0.02, "sum {}", sum);
+        let reference = softmax_ref_f64(&values);
+        for (g, r) in got.iter().zip(&reference) {
+            prop_assert!((*g as f64 - r).abs() < 3e-3);
+        }
+    }
+}
