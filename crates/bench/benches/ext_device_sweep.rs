@@ -1,0 +1,50 @@
+//! Extension bench: decode throughput, power and dmabuf footprint across
+//! the three Snapdragon generations — Figures 11, 12 and 16 in one table.
+
+use edgellm::config::ModelId;
+use hexsim::device::DeviceProfile;
+use npuscale::memory::measure_overhead;
+use npuscale::pipeline::measure_decode;
+use npuscale::power::PowerModel;
+
+fn main() {
+    benchutil::banner(
+        "Extension - device sweep (decode / power / memory)",
+        "paper Figs 11+12+16 across Hexagon V73/V75/V79",
+    );
+    for device in DeviceProfile::all() {
+        println!(
+            "\n{} / {} (Hexagon {:?})",
+            device.name, device.soc, device.arch
+        );
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>9} {:>12}",
+            "model", "b1 tok/s", "b8 tok/s", "b16 tok/s", "W @ b8", "dmabuf MiB"
+        );
+        let pm = PowerModel::new(device.clone());
+        for model in [ModelId::Llama1B, ModelId::Qwen1_5B, ModelId::Qwen3B] {
+            // KV-cache VA usage grows with batch, so larger batches can hit
+            // the session VA gate even when batch 1 fits — report each batch
+            // size independently instead of assuming b1 implies b8/b16.
+            let measured = [1, 8, 16].map(|batch| measure_decode(&device, model, batch, 1024));
+            match measured {
+                [Ok(p1), Ok(p8), Ok(p16)] => {
+                    let power = pm.measure(&p8);
+                    let mem = measure_overhead(model, &p8, 4096);
+                    println!(
+                        "{:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.2} {:>12.0}",
+                        model.label(),
+                        p1.tokens_per_sec,
+                        p8.tokens_per_sec,
+                        p16.tokens_per_sec,
+                        power.power_w,
+                        mem.dmabuf_mib
+                    );
+                }
+                [Err(e), ..] | [_, Err(e), _] | [_, _, Err(e)] => {
+                    println!("{:<8} cannot run: {e}", model.label())
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Extension bench: speculative decoding on the simulated NPU (paper
+//! Section 9's generate-then-verify sketch) — acceptance rate and
+//! simulated speedup for draft models of increasing quality.
+
+use hexsim::prelude::*;
+use htpops::gemm::DequantVariant;
+use ttscale::spec_decode::{greedy_generate, speculative_generate, BigramDraft, DraftModel};
+
+/// Draft that always proposes the target's own greedy choice: the upper
+/// bound of drafting quality. The proposal index is derived from the
+/// context (committed + drafted tokens so far), not an internal counter —
+/// `speculative_generate` commits `draft_len + 1` tokens per fully
+/// accepted round (the bonus token comes from the final verify position),
+/// so a per-call counter would fall one token behind every round.
+struct OracleDraft {
+    stream: Vec<u32>,
+    prompt_len: usize,
+}
+
+impl DraftModel for OracleDraft {
+    fn propose(&mut self, context: &[u32]) -> u32 {
+        let pos = context.len() - self.prompt_len;
+        self.stream[pos.min(self.stream.len() - 1)]
+    }
+}
+
+fn main() {
+    benchutil::banner(
+        "Extension - speculative decoding (generate-then-verify)",
+        "paper Section 9: batched verification rides idle HMX tiles",
+    );
+    let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+    let model = edgellm::model::Model::new(
+        &mut ctx,
+        edgellm::config::ModelId::Tiny,
+        DequantVariant::CoalescedLut,
+        21,
+    )
+    .expect("tiny model fits every profile");
+    let prompt = vec![1u32, 50, 60, 70, 80];
+    let new_tokens = 16;
+
+    let (greedy, greedy_cost) =
+        greedy_generate(&mut ctx, &model, &prompt, new_tokens).expect("greedy decode");
+    println!(
+        "{:<14} {:>12} {:>16} {:>14}",
+        "draft", "target steps", "accepted/step", "sim latency"
+    );
+    println!(
+        "{:<14} {:>12} {:>16} {:>14}",
+        "(none/greedy)",
+        new_tokens,
+        "1.00",
+        benchutil::fmt_secs(greedy_cost.wall_secs())
+    );
+
+    let mut bigram = BigramDraft::new(4);
+    let weak = speculative_generate(&mut ctx, &model, &mut bigram, &prompt, new_tokens, 3)
+        .expect("bigram speculative decode");
+    assert_eq!(weak.tokens, greedy, "speculation must be lossless");
+    println!(
+        "{:<14} {:>12} {:>16.2} {:>14}",
+        "bigram",
+        weak.target_steps,
+        weak.mean_accepted,
+        benchutil::fmt_secs(weak.cost.wall_secs())
+    );
+
+    let mut oracle = OracleDraft {
+        stream: greedy.clone(),
+        prompt_len: prompt.len(),
+    };
+    let perfect = speculative_generate(&mut ctx, &model, &mut oracle, &prompt, new_tokens, 3)
+        .expect("oracle speculative decode");
+    assert_eq!(perfect.tokens, greedy, "speculation must be lossless");
+    println!(
+        "{:<14} {:>12} {:>16.2} {:>14}",
+        "oracle",
+        perfect.target_steps,
+        perfect.mean_accepted,
+        benchutil::fmt_secs(perfect.cost.wall_secs())
+    );
+    println!(
+        "\noracle speedup over greedy: {:.2}x fewer target steps",
+        new_tokens as f64 / perfect.target_steps as f64
+    );
+}

@@ -22,8 +22,7 @@ fn main() {
                     "{:<10} {:>7} {:>10} {:>14}",
                     "series", "budget", "accuracy", "latency/token"
                 );
-                let rows =
-                    npuscale::experiments::fig10_rows(&device, dataset, method, 42);
+                let rows = npuscale::experiments::fig10_rows(&device, dataset, method, 42);
                 for p in rows {
                     println!(
                         "{:<10} {:>7} {:>9.1}% {:>14}",

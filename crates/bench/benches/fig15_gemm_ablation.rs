@@ -32,8 +32,7 @@ fn main() {
             bound_ratios.push(1.0 / r.ours_speedup);
         }
     }
-    let avg =
-        |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "\nspeedup vs baseline: {:.2}-{:.2}x (paper 9.65-19.04x)",
         base_ratios.iter().cloned().fold(f64::INFINITY, f64::min),

@@ -36,7 +36,9 @@ fn bench_lut_dequant(c: &mut Criterion) {
     let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
     let env = DequantEnv::new(&mut ctx);
     let blocks: [BlockQ4_0; 8] = std::array::from_fn(|g| {
-        let vals: Vec<f32> = (0..32).map(|i| ((g * 32 + i) as f32 * 0.11).sin()).collect();
+        let vals: Vec<f32> = (0..32)
+            .map(|i| ((g * 32 + i) as f32 * 0.11).sin())
+            .collect();
         BlockQ4_0::quantize(&vals)
     });
     let sb = SuperBlockQ4::from_blocks(&blocks);

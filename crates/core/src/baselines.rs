@@ -71,7 +71,8 @@ impl GpuBaseline {
         let cfg = ModelConfig::for_id(model);
         // Compute-bound GEMM over the prompt + quadratic attention.
         let body = 2.0 * (cfg.npu_weight_bytes() as f64 / 4.5 * 8.0) * prompt_len as f64;
-        let attn = 2.0 * (cfg.heads * cfg.head_dim) as f64
+        let attn = 2.0
+            * (cfg.heads * cfg.head_dim) as f64
             * (prompt_len * prompt_len) as f64
             * cfg.layers as f64;
         let t = (body + attn) / self.eff_prefill_flops + Self::step_bytes(&cfg, 1, 0) / self.eff_bw;

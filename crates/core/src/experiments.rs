@@ -60,11 +60,14 @@ pub struct Table1Row {
     pub wiki_ppl_mapped: f64,
 }
 
+/// `(matrix, k, n) -> transformed matrix` weight transform.
+type MatTransform = dyn Fn(&[f32], usize, usize) -> Vec<f32>;
+
 /// Quantizes every matrix of a float layer set with a transform.
 fn map_layers(
     layers: &[LayerFloatWeights],
     cfg: &ModelConfig,
-    f: &dyn Fn(&[f32], usize, usize) -> Vec<f32>,
+    f: &MatTransform,
 ) -> Vec<LayerFloatWeights> {
     layers
         .iter()
@@ -82,7 +85,9 @@ fn map_layers(
 
 /// Synthetic PPL stream for tiny-model perplexity.
 fn ppl_stream(len: usize) -> Vec<u32> {
-    (0..len).map(|i| 4 + ((i * 37 + i * i * 11) % 200) as u32).collect()
+    (0..len)
+        .map(|i| 4 + ((i * 37 + i * i * 11) % 200) as u32)
+        .collect()
 }
 
 /// Functional model used as the perplexity instrument: wide enough (hidden
@@ -123,8 +128,14 @@ pub fn table1_rows(seed: u64) -> Vec<Table1Row> {
     let stream = ppl_stream(48);
     let base_logits = edgellm::cpu_ref::forward_float(&tiny, &float_layers, &embed, &stream);
     let group_layers = map_layers(&float_layers, &tiny, &|m, kk, nn| {
-        QuantizedMatrix::quantize(m, kk, nn, QuantScheme::Q4_0, WeightLayout::ColumnMajorGroups)
-            .dequantize()
+        QuantizedMatrix::quantize(
+            m,
+            kk,
+            nn,
+            QuantScheme::Q4_0,
+            WeightLayout::ColumnMajorGroups,
+        )
+        .dequantize()
     });
     let channel_layers = map_layers(&float_layers, &tiny, &|m, kk, nn| {
         PerChannelQ4::quantize(m, kk, nn).dequantize()
@@ -152,8 +163,7 @@ pub fn table1_rows(seed: u64) -> Vec<Table1Row> {
     let row = |label: &str, r: f64, kl: f64| {
         let cap = quant_capability(r);
         let penalty = quant_skill_penalty(r);
-        let policy =
-            |ds| CalibratedPolicy::new(ModelId::Llama1B, ds).with_skill_penalty(penalty);
+        let policy = |ds| CalibratedPolicy::new(ModelId::Llama1B, ds).with_skill_penalty(penalty);
         Table1Row {
             scheme: label.to_string(),
             weight_rmse_rel: r,
@@ -619,7 +629,11 @@ pub fn fig15_rows() -> Vec<Fig15Row> {
         let t_bound = wall(DequantVariant::NoDequantBound);
         let label = format!(
             "{k}*{n}, {}",
-            if scheme == QuantScheme::Q4_0 { "Q4" } else { "Q8" }
+            if scheme == QuantScheme::Q4_0 {
+                "Q4"
+            } else {
+                "Q8"
+            }
         );
         for (variant, t) in [
             ("baseline", t_base),
@@ -741,7 +755,12 @@ pub fn table4_rows(seed: u64) -> Vec<Table4Row> {
     let f16_layers = map_layers(&float_layers, &tiny, &|m, _, _| {
         m.iter().map(|&v| F16::from_f32(v).to_f32()).collect()
     });
-    let ppl_tile = perplexity_float(&tiny, &quantize_with(WeightLayout::HmxTileGroups), &embed, &stream);
+    let ppl_tile = perplexity_float(
+        &tiny,
+        &quantize_with(WeightLayout::HmxTileGroups),
+        &embed,
+        &stream,
+    );
     let ppl_common = perplexity_float(
         &tiny,
         &quantize_with(WeightLayout::ColumnMajorGroups),
@@ -825,7 +844,6 @@ pub fn table5_rows(seed: u64) -> Vec<Table5Row> {
     ]
 }
 
-
 // ---------------------------------------------------------------------
 // Extension: scaling-method comparison at matched budgets.
 // ---------------------------------------------------------------------
@@ -891,10 +909,7 @@ mod ext_tests {
             if r.budget > 1 {
                 // Reward-model methods beat unguided majority voting at
                 // equal budget on hard tasks.
-                assert!(
-                    r.best_of_n_pct >= r.self_consistency_pct - 3.0,
-                    "{r:?}"
-                );
+                assert!(r.best_of_n_pct >= r.self_consistency_pct - 3.0, "{r:?}");
             }
         }
         // All methods scale with budget.
@@ -964,8 +979,7 @@ mod tests {
     #[test]
     fn fig15_speedups_in_paper_band() {
         let rows = fig15_rows();
-        let baselines: Vec<&Fig15Row> =
-            rows.iter().filter(|r| r.variant == "baseline").collect();
+        let baselines: Vec<&Fig15Row> = rows.iter().filter(|r| r.variant == "baseline").collect();
         for b in &baselines {
             assert!(
                 (7.0..22.0).contains(&b.ours_speedup),

@@ -150,8 +150,7 @@ pub fn pareto_panel(
 
     for model in base_models {
         let policy = CalibratedPolicy::new(model, dataset);
-        let accuracy =
-            best_of_n::accuracy_over_tasks(&policy, &SimOrm::default(), &tasks, 1, seed);
+        let accuracy = best_of_n::accuracy_over_tasks(&policy, &SimOrm::default(), &tasks, 1, seed);
         // Q7 exceeds a single session's VA space: estimate through the
         // multi-session extension by lifting the gate.
         let mut dev = device.clone();
@@ -223,12 +222,7 @@ mod tests {
     use super::*;
 
     fn panel(method: Method) -> Vec<ParetoPoint> {
-        pareto_panel(
-            &DeviceProfile::v75(),
-            DatasetKind::Math500Like,
-            method,
-            42,
-        )
+        pareto_panel(&DeviceProfile::v75(), DatasetKind::Math500Like, method, 42)
     }
 
     #[test]
@@ -271,7 +265,11 @@ mod tests {
     fn latency_grows_with_budget_but_sublinearly() {
         let points = panel(Method::BestOfN);
         let q15: Vec<&ParetoPoint> = points.iter().filter(|p| p.series == "Q1.5-TTS").collect();
-        let lat1 = q15.iter().find(|p| p.budget == 1).unwrap().per_token_latency_s;
+        let lat1 = q15
+            .iter()
+            .find(|p| p.budget == 1)
+            .unwrap()
+            .per_token_latency_s;
         let lat16 = q15
             .iter()
             .find(|p| p.budget == 16)

@@ -103,11 +103,7 @@ impl NpuSession {
     /// poller (modelled synchronously; the polling thread's work is charged
     /// per dispatch).
     pub fn open(cfg: SessionConfig) -> Self {
-        let ring = SharedBuffer::new(
-            1,
-            HDR_BYTES + RING_SLOTS * REQ_BYTES,
-            cfg.strict_coherence,
-        );
+        let ring = SharedBuffer::new(1, HDR_BYTES + RING_SLOTS * REQ_BYTES, cfg.strict_coherence);
         NpuSession {
             ring,
             cfg,
@@ -167,7 +163,10 @@ impl NpuSession {
             return Ok(None);
         }
         let slot = (self.tail as usize) % RING_SLOTS;
-        let req = decode(self.ring.npu_read(HDR_BYTES + slot * REQ_BYTES, REQ_BYTES)?);
+        let req = decode(
+            self.ring
+                .npu_read(HDR_BYTES + slot * REQ_BYTES, REQ_BYTES)?,
+        );
         self.tail += 1;
         // Completion: NPU writes are CPU-visible without maintenance.
         let tail = self.tail;

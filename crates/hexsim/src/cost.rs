@@ -150,10 +150,7 @@ impl PhaseCost {
         for i in 0..NUM_ENGINES {
             self.engine_secs[i] += other.engine_secs[i];
         }
-        self.wall_secs = self
-            .engine_secs
-            .iter()
-            .fold(0.0f64, |acc, &s| acc.max(s));
+        self.wall_secs = self.engine_secs.iter().fold(0.0f64, |acc, &s| acc.max(s));
     }
 }
 

@@ -211,7 +211,10 @@ impl NpuContext {
         assert!(src.0 + len <= self.device.tcm_bytes, "dma_t2h source OOB");
         let tcm_slice = self.tcm[src.0 as usize..(src.0 + len) as usize].to_vec();
         let state = self.ddr.get_mut(dst);
-        assert!(dst_off + len as u64 <= state.size, "dma_t2h destination OOB");
+        assert!(
+            dst_off + len as u64 <= state.size,
+            "dma_t2h destination OOB"
+        );
         if let Some(data) = state.data.as_mut() {
             data[dst_off as usize..dst_off as usize + len as usize].copy_from_slice(&tcm_slice);
         }
@@ -519,7 +522,10 @@ impl NpuContext {
     /// Panics if a tile range exceeds TCM or is not 2-byte aligned.
     pub fn hmx_matmul(&mut self, acc: &mut HmxAccumulator, act: TcmAddr, wgt: TcmAddr) {
         self.cost.charge_hmx_tile_ops(1);
-        assert!(act.0.is_multiple_of(2) && wgt.0.is_multiple_of(2), "tiles must be aligned");
+        assert!(
+            act.0.is_multiple_of(2) && wgt.0.is_multiple_of(2),
+            "tiles must be aligned"
+        );
         let act_tile = hmx::unpack_tile(self.tcm_peek(act, TILE_BYTES));
         let wgt_tile = hmx::unpack_tile(self.tcm_peek(wgt, TILE_BYTES));
         acc.mac(&act_tile, &wgt_tile);
@@ -718,10 +724,10 @@ mod tests {
         // Activation: arbitrary; weight: identity.
         let mut a = [[F16::ZERO; TILE_DIM]; TILE_DIM];
         let mut w = [[F16::ZERO; TILE_DIM]; TILE_DIM];
-        for i in 0..TILE_DIM {
+        for (i, row) in a.iter_mut().enumerate() {
             w[i][i] = F16::ONE;
-            for j in 0..TILE_DIM {
-                a[i][j] = F16::from_f32(((i * 31 + j * 17) % 11) as f32 - 5.0);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = F16::from_f32(((i * 31 + j * 17) % 11) as f32 - 5.0);
             }
         }
         let ab = hmx::pack_tile(&a);

@@ -447,11 +447,13 @@ mod tests {
 
     #[test]
     fn total_cmp_ordering() {
-        let mut vals = [F16::from_f32(3.0),
+        let mut vals = [
+            F16::from_f32(3.0),
             F16::NEG_INFINITY,
             F16::from_f32(-1.0),
             F16::ZERO,
-            F16::INFINITY];
+            F16::INFINITY,
+        ];
         vals.sort_by(|a, b| a.total_cmp(*b));
         let f: Vec<f32> = vals.iter().map(|v| v.to_f32()).collect();
         assert_eq!(f, vec![f32::NEG_INFINITY, -1.0, 0.0, 3.0, f32::INFINITY]);

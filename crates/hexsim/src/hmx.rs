@@ -103,11 +103,7 @@ impl HmxAccumulator {
     /// Accumulates `act x wgt` (both row-major 32x32, FP16 inputs upcast to
     /// FP32 for the MAC, like the hardware's internal precision).
     #[allow(clippy::needless_range_loop)]
-    pub fn mac(
-        &mut self,
-        act: &[[F16; TILE_DIM]; TILE_DIM],
-        wgt: &[[F16; TILE_DIM]; TILE_DIM],
-    ) {
+    pub fn mac(&mut self, act: &[[F16; TILE_DIM]; TILE_DIM], wgt: &[[F16; TILE_DIM]; TILE_DIM]) {
         for i in 0..TILE_DIM {
             for k in 0..TILE_DIM {
                 let a = act[i][k].to_f32();

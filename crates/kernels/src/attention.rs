@@ -149,7 +149,11 @@ impl<'a> FlashAttention<'a> {
         v: &[F16],
         causal_start: Option<usize>,
     ) -> (Vec<F16>, FlashAttentionBreakdown) {
-        let AttnShape { nq, nkv, head_dim: d } = shape;
+        let AttnShape {
+            nq,
+            nkv,
+            head_dim: d,
+        } = shape;
         let g = self.q_heads_per_kv;
         assert!(d % 32 == 0, "head_dim must be a multiple of 32");
         assert!(nkv > 0, "empty KV cache");
@@ -252,7 +256,9 @@ impl<'a> FlashAttention<'a> {
         functional: bool,
         causal_start: Option<usize>,
     ) {
-        let AttnShape { nq, head_dim: d, .. } = shape;
+        let AttnShape {
+            nq, head_dim: d, ..
+        } = shape;
         let g = self.q_heads_per_kv;
         let kv_tiles = self.kv_block.div_ceil(32);
         let d_tiles = d / 32;
@@ -358,8 +364,8 @@ impl<'a> FlashAttention<'a> {
                     for p in 0..d {
                         let mut acc = 0.0f32;
                         for jj in 0..cols {
-                            acc += p_block[i * cols + jj].to_f32()
-                                * v[(kv_lo + jj) * d + p].to_f32();
+                            acc +=
+                                p_block[i * cols + jj].to_f32() * v[(kv_lo + jj) * d + p].to_f32();
                         }
                         let updated = o[row * d + p] * e_dm.to_f32() + acc;
                         o[row * d + p] = F16::from_f32(updated).to_f32();
@@ -450,15 +456,8 @@ mod tests {
         let v = rand_f16(160 * 64, 11, 1.0);
         let fa = FlashAttention::new(&lut, ExpMethod::Lut16, 1);
         let (out, _) = fa.run(&mut c, shape, &q, &k, &v);
-        let reference = attention_ref_f64(
-            &to_f32(&q),
-            &to_f32(&k),
-            &to_f32(&v),
-            4,
-            160,
-            64,
-            1.0 / 8.0,
-        );
+        let reference =
+            attention_ref_f64(&to_f32(&q), &to_f32(&k), &to_f32(&v), 4, 160, 64, 1.0 / 8.0);
         let err = rmse(&to_f32(&out), &reference);
         assert!(err < 5e-3, "rmse {err}");
     }

@@ -290,9 +290,9 @@ mod tests {
         dequant_super_q4_lut(&mut c, &env, src, dst);
         // Compare against the scalar F16 dequantization path, element by
         // element (the kernel must match it bit-exactly).
-        for g in 0..8 {
+        for (g, block) in blocks.iter().enumerate() {
             for i in 0..32 {
-                let expected = blocks[g].dequantize_f16(i);
+                let expected = block.dequantize_f16(i);
                 let off = (g * 32 + i) * 2;
                 let got = c.tcm_peek(dst.offset(off as u32), 2);
                 let got = F16(u16::from_le_bytes([got[0], got[1]]));
@@ -335,7 +335,9 @@ mod tests {
         let mut c = ctx();
         let env = DequantEnv::new(&mut c);
         let blocks: [BlockQ8_0; 8] = std::array::from_fn(|g| {
-            let vals: Vec<f32> = (0..32).map(|i| ((g * 31 + i) as f32 * 0.3).cos() * 2.0).collect();
+            let vals: Vec<f32> = (0..32)
+                .map(|i| ((g * 31 + i) as f32 * 0.3).cos() * 2.0)
+                .collect();
             BlockQ8_0::quantize(&vals)
         });
         let sb = tilequant::super_group::SuperBlockQ8::from_blocks(&blocks);
@@ -343,9 +345,9 @@ mod tests {
         let dst = c.tcm_alloc(512, 128).unwrap();
         c.tcm_poke(src, &sb.to_bytes());
         dequant_super_q8_lut(&mut c, &env, src, dst);
-        for g in 0..8 {
+        for (g, block) in blocks.iter().enumerate() {
             for i in 0..32 {
-                let expected = F16::from_f32(blocks[g].quants[i] as f32).mul(blocks[g].scale);
+                let expected = F16::from_f32(block.quants[i] as f32).mul(block.scale);
                 let off = (g * 32 + i) * 2;
                 let got = c.tcm_peek(dst.offset(off as u32), 2);
                 let got = F16(u16::from_le_bytes([got[0], got[1]]));

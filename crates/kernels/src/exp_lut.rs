@@ -145,7 +145,7 @@ pub fn exp_f16_scalar(x: F16) -> F16 {
     let f = F16::from_f32(yf - k);
     // 2^f ~= 1 + f*(c1 + f*(c2 + f*c3)) evaluated in FP16 (Horner), with
     // coefficients fitted for [0,1): c1=0.6931, c2=0.2416, c3=0.0520.
-    let c1 = F16::from_f32(0.693_147_2);
+    let c1 = F16::from_f32(std::f32::consts::LN_2);
     let c2 = F16::from_f32(0.240_226_5);
     let c3 = F16::from_f32(0.052_0);
     let mut p = c3.mul(f).add(c2);
@@ -277,7 +277,10 @@ mod tests {
         }
         // Paper: LUT (32-bit precomputation) is more accurate than the
         // 16-bit polynomial.
-        assert!(max_err_lut < max_err_poly, "lut {max_err_lut} poly {max_err_poly}");
+        assert!(
+            max_err_lut < max_err_poly,
+            "lut {max_err_lut} poly {max_err_poly}"
+        );
         // And the polynomial is still a usable exp (sub-2% relative error).
         assert!(max_err_poly < 0.02, "poly max rel err {max_err_poly}");
         // LUT stays within one FP16 ULP (~1e-3 relative).

@@ -21,7 +21,9 @@ use hexsim::f16::F16;
 use hexsim::hmx::{pack_tile, unpack_tile, HmxAccumulator, TILE_BYTES, TILE_DIM};
 use hexsim::prelude::*;
 use tilequant::block::{BlockQ4_0, BlockQ8_0, Q4_0_BLOCK_BYTES, Q8_0_BLOCK_BYTES};
-use tilequant::super_group::{coalesce_q4_stream, coalesce_q8_stream, SUPER_Q4_BYTES, SUPER_Q8_BYTES};
+use tilequant::super_group::{
+    coalesce_q4_stream, coalesce_q8_stream, SUPER_Q4_BYTES, SUPER_Q8_BYTES,
+};
 use tilequant::{QuantScheme, QuantizedMatrix, WeightLayout};
 
 use crate::dequant::{
@@ -177,13 +179,7 @@ pub fn prepare_weights(
 /// Packs activation rows `[m, k]` into interleaved HMX tiles in TCM
 /// (functional), charging the shuffle/store trace per tile.
 #[allow(clippy::needless_range_loop)]
-fn stage_activations(
-    ctx: &mut NpuContext,
-    act: &[F16],
-    m: usize,
-    k: usize,
-    area: Option<TcmAddr>,
-) {
+fn stage_activations(ctx: &mut NpuContext, act: &[F16], m: usize, k: usize, area: Option<TcmAddr>) {
     let m_tiles = m.div_ceil(TILE_DIM);
     let k_tiles = k / TILE_DIM;
     // Charges: per tile, 16 cross-lane shuffles plus a load+store sweep.
@@ -301,8 +297,7 @@ fn dequant_tile(
                     QuantScheme::Q4_0 => {
                         for gi in 0..32 {
                             let src = staging.offset((gi * Q4_0_BLOCK_BYTES) as u32);
-                            let block =
-                                BlockQ4_0::from_bytes(ctx.tcm_peek(src, Q4_0_BLOCK_BYTES));
+                            let block = BlockQ4_0::from_bytes(ctx.tcm_peek(src, Q4_0_BLOCK_BYTES));
                             for i in 0..32 {
                                 let vf = block.dequantize_f16(i);
                                 let o = (gi * 32 + i) * 2;
@@ -313,8 +308,7 @@ fn dequant_tile(
                     QuantScheme::Q8_0 => {
                         for gi in 0..32 {
                             let src = staging.offset((gi * Q8_0_BLOCK_BYTES) as u32);
-                            let block =
-                                BlockQ8_0::from_bytes(ctx.tcm_peek(src, Q8_0_BLOCK_BYTES));
+                            let block = BlockQ8_0::from_bytes(ctx.tcm_peek(src, Q8_0_BLOCK_BYTES));
                             for i in 0..32 {
                                 let vf = F16::from_f32(block.quants[i] as f32).mul(block.scale);
                                 let o = (gi * 32 + i) * 2;
@@ -374,7 +368,9 @@ pub fn gemm_mixed(
     let staging = ctx
         .tcm_alloc((weights.tile_bytes + 128) as u32, 128)
         .expect("weight staging fits");
-    let wgt_tile = ctx.tcm_alloc(TILE_BYTES as u32, 2048).expect("wgt tile fits");
+    let wgt_tile = ctx
+        .tcm_alloc(TILE_BYTES as u32, 2048)
+        .expect("wgt tile fits");
     let out_area = ctx
         .tcm_alloc((m_tiles * TILE_BYTES) as u32, 2048)
         .expect("output tiles fit");
@@ -523,7 +519,8 @@ mod tests {
 
     #[test]
     fn coalesced_lut_gemv_matches_reference() {
-        let (out, reference, _) = run_variant(DequantVariant::CoalescedLut, QuantScheme::Q4_0, 1, 64, 64);
+        let (out, reference, _) =
+            run_variant(DequantVariant::CoalescedLut, QuantScheme::Q4_0, 1, 64, 64);
         check_close(&out, &reference, 0.02, "lut");
     }
 
@@ -549,14 +546,20 @@ mod tests {
         // The baseline uses conventional grouping, so its quantized values
         // differ slightly from the tile-group ones; compare against its own
         // dequantized reference.
-        let (out, reference, _) =
-            run_variant(DequantVariant::BaselineScatter, QuantScheme::Q4_0, 1, 64, 64);
+        let (out, reference, _) = run_variant(
+            DequantVariant::BaselineScatter,
+            QuantScheme::Q4_0,
+            1,
+            64,
+            64,
+        );
         check_close(&out, &reference, 0.02, "baseline");
     }
 
     #[test]
     fn q8_gemv_is_tighter_than_q4() {
-        let (out8, ref8, _) = run_variant(DequantVariant::CoalescedLut, QuantScheme::Q8_0, 1, 64, 64);
+        let (out8, ref8, _) =
+            run_variant(DequantVariant::CoalescedLut, QuantScheme::Q8_0, 1, 64, 64);
         let rmse8: f32 = out8
             .iter()
             .zip(&ref8)

@@ -94,10 +94,18 @@ pub fn forward_float(
         let v = matmul_f32(&normed, &lw.wv, len, hidden, kv_dim);
         for r in 0..len {
             for h in 0..cfg.heads {
-                rope_f32(&mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d], r, cfg.rope_theta);
+                rope_f32(
+                    &mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d],
+                    r,
+                    cfg.rope_theta,
+                );
             }
             for h in 0..cfg.kv_heads {
-                rope_f32(&mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d], r, cfg.rope_theta);
+                rope_f32(
+                    &mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d],
+                    r,
+                    cfg.rope_theta,
+                );
             }
         }
         // Causal attention.

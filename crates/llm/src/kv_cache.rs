@@ -216,9 +216,15 @@ mod tests {
         for seq_tok in [(0, 0), (1, 0), (0, 1)] {
             let _ = seq_tok;
         }
-        cache.append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
-        cache.append(0, 1, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
-        cache.append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true).unwrap();
+        cache
+            .append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true)
+            .unwrap();
+        cache
+            .append(0, 1, &row(&cfg, 0.0), &row(&cfg, 0.0), true)
+            .unwrap();
+        cache
+            .append(0, 0, &row(&cfg, 0.0), &row(&cfg, 0.0), true)
+            .unwrap();
         let err = cache
             .append(0, 1, &row(&cfg, 0.0), &row(&cfg, 0.0), true)
             .unwrap_err();

@@ -152,13 +152,7 @@ impl Model {
     /// Charges the CPU roofline (weights stream at ~1 byte/param, logits
     /// write in f32); functional mode computes real logits from the tied
     /// embedding.
-    fn lm_head(
-        &self,
-        ctx: &mut NpuContext,
-        x: &[F16],
-        rows: usize,
-        functional: bool,
-    ) -> Vec<f32> {
+    fn lm_head(&self, ctx: &mut NpuContext, x: &[F16], rows: usize, functional: bool) -> Vec<f32> {
         let (hidden, vocab) = (self.cfg.hidden, self.cfg.vocab);
         let flops = 2 * rows as u64 * hidden as u64 * vocab as u64;
         let bytes = (vocab * hidden) as u64 + (rows * vocab * 4) as u64;
@@ -187,7 +181,7 @@ impl Model {
         &self,
         ctx: &mut NpuContext,
         layer: usize,
-        x: &mut Vec<F16>,
+        x: &mut [F16],
         rows: usize,
         cache: &mut KvCache,
         seqs: &[usize],
@@ -202,7 +196,7 @@ impl Model {
 
         // Attention RMSNorm.
         let snap = ctx.cost.snapshot();
-        let mut normed = x.clone();
+        let mut normed = x.to_vec();
         let norm_w = lw.attn_norm.clone();
         Self::per_row(
             ctx,
@@ -226,10 +220,20 @@ impl Model {
             for r in 0..rows {
                 let pos = if prefill { start_pos + r } else { start_pos };
                 for h in 0..cfg.heads {
-                    misc::rope(ctx, &mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d], pos, cfg.rope_theta);
+                    misc::rope(
+                        ctx,
+                        &mut q[r * q_dim + h * d..r * q_dim + (h + 1) * d],
+                        pos,
+                        cfg.rope_theta,
+                    );
                 }
                 for h in 0..cfg.kv_heads {
-                    misc::rope(ctx, &mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d], pos, cfg.rope_theta);
+                    misc::rope(
+                        ctx,
+                        &mut k[r * kv_dim + h * d..r * kv_dim + (h + 1) * d],
+                        pos,
+                        cfg.rope_theta,
+                    );
                 }
             }
         } else {
@@ -352,14 +356,15 @@ impl Model {
             }
         }
         ctx.replay(rows as u64, |ctx| {
-            ctx.cost.charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
+            ctx.cost
+                .charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
             ctx.cost.charge_tcm_bytes(hidden as u64 * 6);
         });
         cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
         // FFN: norm, gate/up, SiLU, mul, down (Q8), residual.
         let snap = ctx.cost.snapshot();
-        let mut ffn_in = x.clone();
+        let mut ffn_in = x.to_vec();
         let ffn_norm = lw.ffn_norm.clone();
         Self::per_row(
             ctx,
@@ -389,7 +394,9 @@ impl Model {
         } else {
             let mut dummy = vec![F16::ONE; cfg.ffn];
             let dummy2 = dummy.clone();
-            ctx.replay(rows as u64, |ctx| misc::mul_inplace(ctx, &mut dummy, &dummy2));
+            ctx.replay(rows as u64, |ctx| {
+                misc::mul_inplace(ctx, &mut dummy, &dummy2)
+            });
         }
         cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
@@ -403,7 +410,8 @@ impl Model {
             }
         }
         ctx.replay(rows as u64, |ctx| {
-            ctx.cost.charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
+            ctx.cost
+                .charge_hvx_packets((hidden as u64).div_ceil(64) * 2);
             ctx.cost.charge_tcm_bytes(hidden as u64 * 6);
         });
         cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;

@@ -93,7 +93,11 @@ fn build_matrix(
         let std = 1.0 / (k as f32).sqrt();
         let w = gaussian_matrix(k, n, seed, std, 0.0);
         let qm = QuantizedMatrix::quantize(&w, k, n, scheme, variant.required_layout());
-        let float = if keep_float { qm.dequantize() } else { Vec::new() };
+        let float = if keep_float {
+            qm.dequantize()
+        } else {
+            Vec::new()
+        };
         let prepared = prepare_weights(ctx, &qm, variant)?;
         Ok((prepared, float))
     } else {
@@ -125,15 +129,71 @@ impl ModelWeights {
         let mut float_layers = Vec::new();
         for l in 0..cfg.layers {
             let s = seed.wrapping_add(1000 * l as u64);
-            let (wq, fq) = build_matrix(ctx, cfg.hidden, cfg.q_dim(), QuantScheme::Q4_0, variant, s, functional)?;
-            let (wk, fk) = build_matrix(ctx, cfg.hidden, cfg.kv_dim(), QuantScheme::Q4_0, variant, s + 1, functional)?;
-            let (wv, fv) = build_matrix(ctx, cfg.hidden, cfg.kv_dim(), QuantScheme::Q4_0, variant, s + 2, functional)?;
-            let (wo, fo) = build_matrix(ctx, cfg.q_dim(), cfg.hidden, QuantScheme::Q4_0, variant, s + 3, functional)?;
-            let (w_gate, fg) = build_matrix(ctx, cfg.hidden, cfg.ffn, QuantScheme::Q4_0, variant, s + 4, functional)?;
-            let (w_up, fu) = build_matrix(ctx, cfg.hidden, cfg.ffn, QuantScheme::Q4_0, variant, s + 5, functional)?;
+            let (wq, fq) = build_matrix(
+                ctx,
+                cfg.hidden,
+                cfg.q_dim(),
+                QuantScheme::Q4_0,
+                variant,
+                s,
+                functional,
+            )?;
+            let (wk, fk) = build_matrix(
+                ctx,
+                cfg.hidden,
+                cfg.kv_dim(),
+                QuantScheme::Q4_0,
+                variant,
+                s + 1,
+                functional,
+            )?;
+            let (wv, fv) = build_matrix(
+                ctx,
+                cfg.hidden,
+                cfg.kv_dim(),
+                QuantScheme::Q4_0,
+                variant,
+                s + 2,
+                functional,
+            )?;
+            let (wo, fo) = build_matrix(
+                ctx,
+                cfg.q_dim(),
+                cfg.hidden,
+                QuantScheme::Q4_0,
+                variant,
+                s + 3,
+                functional,
+            )?;
+            let (w_gate, fg) = build_matrix(
+                ctx,
+                cfg.hidden,
+                cfg.ffn,
+                QuantScheme::Q4_0,
+                variant,
+                s + 4,
+                functional,
+            )?;
+            let (w_up, fu) = build_matrix(
+                ctx,
+                cfg.hidden,
+                cfg.ffn,
+                QuantScheme::Q4_0,
+                variant,
+                s + 5,
+                functional,
+            )?;
             // FFN down in Q8_0, "as existing work indicates their importance
             // in preserving model accuracy" (Section 7.1).
-            let (w_down, fd) = build_matrix(ctx, cfg.ffn, cfg.hidden, QuantScheme::Q8_0, variant, s + 6, functional)?;
+            let (w_down, fd) = build_matrix(
+                ctx,
+                cfg.ffn,
+                cfg.hidden,
+                QuantScheme::Q8_0,
+                variant,
+                s + 6,
+                functional,
+            )?;
             let attn_norm = vec![F16::ONE; cfg.hidden];
             let ffn_norm = vec![F16::ONE; cfg.hidden];
             layers.push(LayerNpuWeights {

@@ -360,7 +360,9 @@ mod tests {
 
     #[test]
     fn q8_error_much_smaller_than_q4() {
-        let vals: Vec<f32> = (0..32).map(|i| ((i * 37) % 17) as f32 / 5.0 - 1.6).collect();
+        let vals: Vec<f32> = (0..32)
+            .map(|i| ((i * 37) % 17) as f32 / 5.0 - 1.6)
+            .collect();
         let e4: f32 = BlockQ4_0::quantize(&vals)
             .dequantize()
             .iter()
@@ -404,7 +406,9 @@ mod tests {
         let table = nf4_lut();
         // Gaussian-ish values: NF4's quantile spacing should beat uniform
         // Q4_0 on them.
-        let vals: Vec<f32> = (0..32).map(|i| ((i * 7 % 13) as f32 / 6.0 - 1.0) * 1.5).collect();
+        let vals: Vec<f32> = (0..32)
+            .map(|i| ((i * 7 % 13) as f32 / 6.0 - 1.0) * 1.5)
+            .collect();
         let block = BlockTable4::quantize(&vals, &table);
         let deq = block.dequantize_f16(&table);
         for (orig, got) in vals.iter().zip(deq.iter()) {

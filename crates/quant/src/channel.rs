@@ -157,14 +157,9 @@ mod tests {
         let (k, n) = (256, 64);
         let w = gaussian_matrix(k, n, 5, 1.0, 0.02);
         let pc = PerChannelQ4::quantize(&w, k, n).dequantize();
-        let grouped = QuantizedMatrix::quantize(
-            &w,
-            k,
-            n,
-            QuantScheme::Q4_0,
-            WeightLayout::ColumnMajorGroups,
-        )
-        .dequantize();
+        let grouped =
+            QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q4_0, WeightLayout::ColumnMajorGroups)
+                .dequantize();
         let e_pc = QuantError::measure(&w, &pc);
         let e_g = QuantError::measure(&w, &grouped);
         assert!(
@@ -181,7 +176,12 @@ mod tests {
         let w = gaussian_matrix(k, n, 9, 1.0, 0.02);
         let e_pt = QuantError::measure(&w, &PerTensorQ4::quantize(&w, k, n).dequantize());
         let e_pc = QuantError::measure(&w, &PerChannelQ4::quantize(&w, k, n).dequantize());
-        assert!(e_pt.mse >= e_pc.mse * 0.99, "pt {} pc {}", e_pt.mse, e_pc.mse);
+        assert!(
+            e_pt.mse >= e_pc.mse * 0.99,
+            "pt {} pc {}",
+            e_pt.mse,
+            e_pc.mse
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl QuantizedMatrix {
         layout: WeightLayout,
     ) -> Self {
         assert_eq!(weights.len(), k * n, "weight length mismatch");
-        assert!(k.is_multiple_of(TILE_DIM) && n.is_multiple_of(TILE_DIM), "dims must be x32");
+        assert!(
+            k.is_multiple_of(TILE_DIM) && n.is_multiple_of(TILE_DIM),
+            "dims must be x32"
+        );
         let total = k * n;
         let blocks = total / GROUP_SIZE;
         let mut bytes = Vec::with_capacity(blocks * scheme.block_bytes());
@@ -126,8 +129,12 @@ impl QuantizedMatrix {
                 *g = weights[flat];
             }
             match scheme {
-                QuantScheme::Q4_0 => bytes.extend_from_slice(&BlockQ4_0::quantize(&group).to_bytes()),
-                QuantScheme::Q8_0 => bytes.extend_from_slice(&BlockQ8_0::quantize(&group).to_bytes()),
+                QuantScheme::Q4_0 => {
+                    bytes.extend_from_slice(&BlockQ4_0::quantize(&group).to_bytes())
+                }
+                QuantScheme::Q8_0 => {
+                    bytes.extend_from_slice(&BlockQ8_0::quantize(&group).to_bytes())
+                }
             }
         }
         QuantizedMatrix {
@@ -255,8 +262,12 @@ mod tests {
             assert_eq!(qm.num_blocks(), k * n / 32);
             let deq = qm.dequantize();
             assert_eq!(deq.len(), w.len());
-            let mse: f32 =
-                w.iter().zip(&deq).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / w.len() as f32;
+            let mse: f32 = w
+                .iter()
+                .zip(&deq)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / w.len() as f32;
             assert!(mse < 0.02, "layout {layout:?} mse {mse}");
         }
     }
@@ -270,7 +281,11 @@ mod tests {
         let mse = |layout| {
             let qm = QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q4_0, layout);
             let deq = qm.dequantize();
-            w.iter().zip(&deq).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / w.len() as f32
+            w.iter()
+                .zip(&deq)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / w.len() as f32
         };
         let conv = mse(WeightLayout::ColumnMajorGroups);
         let tile = mse(WeightLayout::HmxTileGroups);
@@ -285,7 +300,8 @@ mod tests {
     fn q8_layouts_roundtrip_tightly() {
         let (k, n) = (32, 64);
         let w = gaussian_matrix(k, n, 3, 1.0, 0.0);
-        let qm = QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q8_0, WeightLayout::HmxTileGroups);
+        let qm =
+            QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q8_0, WeightLayout::HmxTileGroups);
         let deq = qm.dequantize();
         let max_err = w
             .iter()
@@ -305,9 +321,11 @@ mod tests {
     fn byte_len_matches_scheme() {
         let (k, n) = (32, 32);
         let w = vec![0.5f32; k * n];
-        let q4 = QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q4_0, WeightLayout::HmxTileGroups);
+        let q4 =
+            QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q4_0, WeightLayout::HmxTileGroups);
         assert_eq!(q4.byte_len(), 32 * 18);
-        let q8 = QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q8_0, WeightLayout::HmxTileGroups);
+        let q8 =
+            QuantizedMatrix::quantize(&w, k, n, QuantScheme::Q8_0, WeightLayout::HmxTileGroups);
         assert_eq!(q8.byte_len(), 32 * 34);
     }
 }

@@ -60,12 +60,7 @@ pub fn best_of_n(
 
 /// pass@N with an oracle verifier (upper bound of Best-of-N) over a task
 /// set, in percent.
-pub fn pass_at_n_oracle(
-    policy: &CalibratedPolicy,
-    tasks: &[MathTask],
-    n: usize,
-    seed: u64,
-) -> f64 {
+pub fn pass_at_n_oracle(policy: &CalibratedPolicy, tasks: &[MathTask], n: usize, seed: u64) -> f64 {
     let orm = SimOrm {
         discrimination: 1e9,
     };

@@ -83,7 +83,13 @@ pub fn extract_answer(text: &str) -> Option<i64> {
     let bytes = text.as_bytes();
     let mut i = 0usize;
     while i < bytes.len() {
-        if bytes[i].is_ascii_digit() || (bytes[i] == b'-' && bytes.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)) {
+        if bytes[i].is_ascii_digit()
+            || (bytes[i] == b'-'
+                && bytes
+                    .get(i + 1)
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false))
+        {
             let start = i;
             i += 1;
             while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -129,7 +135,11 @@ pub fn llm_best_of_n(
     seed: u64,
 ) -> SimResult<LlmBonOutcome> {
     assert!(n >= 1);
-    assert_eq!(ctx.mode, ExecMode::Functional, "end-to-end runs are functional");
+    assert_eq!(
+        ctx.mode,
+        ExecMode::Functional,
+        "end-to-end runs are functional"
+    );
     let tok = Tokenizer::new();
     let prompt = format!("{}\nAnswer: ", task.statement);
     let prompt_tokens = tok.encode_with_bos(&prompt);
@@ -237,7 +247,11 @@ mod tests {
         assert!(out.decode_tokens_per_sec > 0.0);
         // Samples must diverge (independent sampling per sequence).
         assert!(
-            out.completions.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            out.completions
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1,
             "all samples identical: {:?}",
             out.completions
         );

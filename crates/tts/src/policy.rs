@@ -89,7 +89,10 @@ impl CalibratedPolicy {
 
     /// Task-level solve probability.
     pub fn solve_prob(&self, task: &MathTask) -> f64 {
-        solve_prob(self.skill * self.capability - self.skill_penalty, task.difficulty)
+        solve_prob(
+            self.skill * self.capability - self.skill_penalty,
+            task.difficulty,
+        )
     }
 
     /// Per-step success rate such that a full trajectory of `n` steps

@@ -242,8 +242,7 @@ mod tests {
         let prompt = vec![1u32, 50, 60, 70];
         let (greedy, _) = greedy_generate(&mut ctx, &model, &prompt, 10).unwrap();
         let mut draft = BigramDraft::new(4);
-        let spec =
-            speculative_generate(&mut ctx, &model, &mut draft, &prompt, 10, 3).unwrap();
+        let spec = speculative_generate(&mut ctx, &model, &mut draft, &prompt, 10, 3).unwrap();
         assert_eq!(spec.tokens, greedy, "speculation must be lossless");
     }
 
@@ -306,12 +305,16 @@ mod tests {
         // costs far less than four sequential decode steps.
         let (mut ctx, model) = setup();
         let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, 64).unwrap();
-        model.prefill(&mut ctx, &mut cache, 0, &[1, 20, 30]).unwrap();
+        model
+            .prefill(&mut ctx, &mut cache, 0, &[1, 20, 30])
+            .unwrap();
         let chunk = model
             .prefill_all_logits(&mut ctx, &mut cache, 0, &[40, 41, 42, 43])
             .unwrap();
         let mut cache2 = KvCache::new(&mut ctx, &model.cfg, 1, 64).unwrap();
-        model.prefill(&mut ctx, &mut cache2, 0, &[1, 20, 30]).unwrap();
+        model
+            .prefill(&mut ctx, &mut cache2, 0, &[1, 20, 30])
+            .unwrap();
         let mut seq_cost = StepCost::default();
         for t in [40u32, 41, 42, 43] {
             let out = model.decode_step(&mut ctx, &mut cache2, &[t]).unwrap();

@@ -87,7 +87,7 @@ impl TaskGenerator {
         let id = self.next_id;
         self.next_id += 1;
         let family = self.rng.gen_range(0..4);
-        
+
         match family {
             0 => self.arith_chain(id, difficulty),
             1 => self.linear_eq(id, difficulty),

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example device_sweep`
 
-use npuscale_repro::prelude::*;
 use npuscale::memory::measure_overhead;
+use npuscale_repro::prelude::*;
 
 fn main() {
     for device in DeviceProfile::all() {

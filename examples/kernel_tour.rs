@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --release --example kernel_tour`
 
-use npuscale_repro::prelude::*;
 use htpops::attention::{AttnShape, FlashAttention};
 use htpops::exp_lut::ExpLut16;
 use htpops::gemm::{gemm_mixed, prepare_weights, GemmConfig};
 use htpops::softmax::{softmax_rows, SoftmaxConfig};
+use npuscale_repro::prelude::*;
 use tilequant::{QuantScheme, QuantizedMatrix};
 
 fn main() {
@@ -77,7 +77,10 @@ fn main() {
     // --- 3. FlashAttention breakdown across decode batch sizes. ---
     println!("\nFlashAttention stage shares, Qwen2.5-1.5B geometry (Figure 8):");
     let fa = FlashAttention::new(&lut, ExpMethod::Lut16, 6);
-    println!("  {:>4} {:>12} {:>9} {:>9}", "q", "load/store", "matmul", "softmax");
+    println!(
+        "  {:>4} {:>12} {:>9} {:>9}",
+        "q", "load/store", "matmul", "softmax"
+    );
     for q in [4usize, 8, 16, 32] {
         let (_, bd) = fa.run(
             &mut ctx,
@@ -91,9 +94,6 @@ fn main() {
             &[],
         );
         let s = bd.shares();
-        println!(
-            "  {:>4} {:>11.1}% {:>8.1}% {:>8.1}%",
-            q, s[0], s[1], s[2]
-        );
+        println!("  {:>4} {:>11.1}% {:>8.1}% {:>8.1}%", q, s[0], s[1], s[2]);
     }
 }

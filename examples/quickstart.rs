@@ -31,7 +31,9 @@ fn main() {
     let prompt_tokens = tok.encode_with_bos(prompt);
     let batch = 4;
     let mut cache = KvCache::new(&mut ctx, &model.cfg, batch, 512).unwrap();
-    let prefill = model.prefill(&mut ctx, &mut cache, 0, &prompt_tokens).unwrap();
+    let prefill = model
+        .prefill(&mut ctx, &mut cache, 0, &prompt_tokens)
+        .unwrap();
     cache.broadcast_prompt(true);
     println!(
         "\nprefill: {} tokens in {:.2} ms of simulated device time",

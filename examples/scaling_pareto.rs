@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example scaling_pareto`
 
-use npuscale_repro::prelude::*;
 use npuscale::pareto::{dominates, pareto_panel, Method};
+use npuscale_repro::prelude::*;
 
 fn main() {
     let device = DeviceProfile::v75();
@@ -37,8 +37,14 @@ fn main() {
         }
 
         // Who dominates whom: TTS points vs base points.
-        let bases: Vec<_> = points.iter().filter(|p| p.series.ends_with("base")).collect();
-        let tts: Vec<_> = points.iter().filter(|p| p.series.ends_with("TTS")).collect();
+        let bases: Vec<_> = points
+            .iter()
+            .filter(|p| p.series.ends_with("base"))
+            .collect();
+        let tts: Vec<_> = points
+            .iter()
+            .filter(|p| p.series.ends_with("TTS"))
+            .collect();
         println!("\ndominance (TTS point beats base point on both axes):");
         let mut any = false;
         for b in &bases {

@@ -13,14 +13,17 @@ use ttscale::spec_decode::{greedy_generate, speculative_generate, BigramDraft, D
 
 struct OracleDraft {
     stream: Vec<u32>,
-    pos: usize,
+    prompt_len: usize,
 }
 
 impl DraftModel for OracleDraft {
-    fn propose(&mut self, _context: &[u32]) -> u32 {
-        let t = self.stream[self.pos.min(self.stream.len() - 1)];
-        self.pos += 1;
-        t
+    // Index by context, not an internal counter: each fully accepted round
+    // commits draft_len + 1 tokens (the bonus token comes from the final
+    // verify position), so a per-call counter would drift one token behind
+    // the committed stream every round.
+    fn propose(&mut self, context: &[u32]) -> u32 {
+        let pos = context.len() - self.prompt_len;
+        self.stream[pos.min(self.stream.len() - 1)]
     }
 }
 
@@ -53,8 +56,8 @@ fn main() {
     // An oracle draft: every proposal matches the target's greedy choice —
     // the upper bound of drafting quality.
     let mut oracle = OracleDraft {
-        stream: greedy[1..].to_vec(),
-        pos: 0,
+        stream: greedy.clone(),
+        prompt_len: prompt.len(),
     };
     let perfect =
         speculative_generate(&mut ctx, &model, &mut oracle, &prompt, new_tokens, 3).unwrap();

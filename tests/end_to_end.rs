@@ -1,8 +1,8 @@
 //! Cross-crate integration: the full stack from rpcmem session to verified
 //! Best-of-N answers, on one simulated device.
 
-use npuscale_repro::prelude::*;
 use npuscale::session::{NpuSession, OpCode, SessionConfig};
+use npuscale_repro::prelude::*;
 use ttscale::llm_policy::llm_best_of_n;
 
 #[test]

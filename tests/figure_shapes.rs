@@ -80,9 +80,7 @@ fn fig13_crossover_gpu_vs_npu() {
             .unwrap();
         let gpu = prefill
             .iter()
-            .find(|r| {
-                r.system == "llama.cpp-OpenCL" && r.model == "Q1.5" && r.prompt_len == prompt
-            })
+            .find(|r| r.system == "llama.cpp-OpenCL" && r.model == "Q1.5" && r.prompt_len == prompt)
             .unwrap();
         assert!(
             ours.tokens_per_sec > gpu.tokens_per_sec,
@@ -99,7 +97,10 @@ fn fig16_dmabuf_constant_and_rss_mild() {
     let q15: Vec<_> = rows.iter().filter(|r| r.model == "Q1.5").collect();
     let dmabuf0 = q15[0].dmabuf_mib;
     for r in &q15 {
-        assert!((r.dmabuf_mib - dmabuf0).abs() < 1e-9, "dmabuf must not vary");
+        assert!(
+            (r.dmabuf_mib - dmabuf0).abs() < 1e-9,
+            "dmabuf must not vary"
+        );
         assert!(r.cpu_util_pct <= 400.0);
     }
     let rss_first = q15.first().unwrap().cpu_rss_mib;
@@ -120,10 +121,7 @@ fn fig17_prompt_length_effect_is_mild() {
                     .unwrap()
             };
             let drop = 1.0 - get(4096) / get(512);
-            assert!(
-                (0.0..0.5).contains(&drop),
-                "{model}@b{batch}: drop {drop}"
-            );
+            assert!((0.0..0.5).contains(&drop), "{model}@b{batch}: drop {drop}");
         }
     }
 }

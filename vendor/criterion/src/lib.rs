@@ -1,0 +1,239 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the benchmark-definition surface the workspace uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Benchmarks really execute and report a median time per iteration, so
+//! `cargo bench` gives usable relative numbers; there is no outlier
+//! analysis, plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration shared by [`Criterion`] and its groups.
+#[derive(Clone, Debug)]
+pub struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+/// Units used to annotate per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            // Group-level overrides (sample_size etc.) are scoped to the
+            // group, as upstream criterion scopes them — copy the config.
+            config: self.config.clone(),
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, &id.into(), None, &mut f);
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks with its own (group-scoped) config.
+pub struct BenchmarkGroup {
+    config: Config,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&self.config, &id, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, learning the cost.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Size each sample so the whole measurement fits the time budget.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        let iters_per_sample = (total_iters / self.config.sample_size as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no measurement)");
+        return;
+    }
+    bencher
+        .samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("bench sample times are finite"));
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let lo = bencher.samples[0];
+    let hi = bencher.samples[bencher.samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12}/s", si(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  {:>10}B/s", si(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]{rate}",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Identity function that defeats constant-propagation, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, in either the positional or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` invoking each declared group (requires the bench
+/// target to set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

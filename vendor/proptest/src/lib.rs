@@ -1,0 +1,302 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface `tests/properties.rs` uses: the [`proptest!`] macro
+//! with an optional `#![proptest_config(...)]` header, range and
+//! `prop::collection::vec` strategies, and the `prop_assume!` /
+//! `prop_assert!` / `prop_assert_eq!` assertion macros. Cases are generated
+//! from a deterministic per-test RNG (seeded from the test name), so
+//! failures reproduce run to run. Unlike upstream proptest there is **no
+//! shrinking**: a failing case reports the failed assertion and the case
+//! index, not a minimized input.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+
+    /// The per-test case generator handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A source of generated values; the stub keeps only generation, no
+    /// value trees or shrinking.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    SampleRange::sample_single(self.clone(), rng)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    SampleRange::sample_single(self.clone(), rng)
+                }
+            }
+        )*}
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy for `bool` values (`any::<bool>()`).
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    /// `prop::collection::vec(element, len)`: a fixed-length vector whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Fixed-size vector strategy (upstream also accepts size *ranges*;
+    /// the in-tree tests only use exact sizes).
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the input; try another one.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Result type the generated case closure returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one property: generates inputs, runs the case closure, and
+    /// panics (failing the enclosing `#[test]`) on the first failure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // Deterministic per-test seed: FNV-1a over the test name.
+            let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            TestRunner {
+                config,
+                rng: TestRng::seed_from_u64(seed),
+                name,
+            }
+        }
+
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> TestCaseResult,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                match case(&mut self.rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "proptest '{}': too many prop_assume! rejects ({rejected})",
+                                self.name
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (after {} rejects): {msg}",
+                            self.name,
+                            passed + 1,
+                            rejected
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything the `proptest!` grammar needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Mirrors upstream's `prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+pub use prelude::prop;
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supported grammar (the subset the repository uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0f32..1.0, 16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                let mut __proptest_case =
+                    || -> $crate::test_runner::TestCaseResult { $body Ok(()) };
+                __proptest_case()
+            });
+        }
+    )*};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:expr;) => {};
+    ($rng:expr; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:expr; $pat:pat in $strat:expr, $($rest:tt)+) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)+);
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {left:?}\n right: {right:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}: {}\n  left: {left:?}\n right: {right:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}

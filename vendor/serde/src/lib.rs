@@ -1,0 +1,16 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough surface for `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` to compile: marker traits plus the
+//! shim derives from the companion `serde_derive` crate. No serialization
+//! framework is included — when a future PR needs real (de)serialization,
+//! replace `vendor/serde*` with the upstream crates and delete this shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,77 @@
+//! Offline derive-macro shim for the vendored `serde` subset.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its experiment-row
+//! and config types so they stay wire-ready for future tooling, but nothing
+//! in-tree serializes through the traits yet. With no crates.io access the
+//! real `serde_derive` is unavailable, so these derives accept the same
+//! syntax (including `#[serde(...)]` attributes) and expand to marker-trait
+//! impls via the companion `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the identifier following `struct`/`enum` and the raw generics
+/// snippet (everything between the name and the body / where-clause).
+fn parse_name_and_generics(input: TokenStream) -> Option<(String, String)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kws = kw.to_string();
+            if kws == "struct" || kws == "enum" || kws == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let mut generics = String::new();
+                    let mut depth = 0i32;
+                    for tt in iter {
+                        match &tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                depth += 1;
+                                generics.push('<');
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth -= 1;
+                                generics.push('>');
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ if depth == 0 => break,
+                            other => {
+                                generics.push_str(&other.to_string());
+                                generics.push(' ');
+                            }
+                        }
+                    }
+                    return Some((name.to_string(), generics));
+                }
+            }
+        } else if let TokenTree::Group(g) = &tt {
+            // Skip attribute groups like #[serde(...)].
+            let _ = g.delimiter() == Delimiter::Bracket;
+        }
+    }
+    None
+}
+
+fn impl_marker(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = parse_name_and_generics(input) else {
+        return TokenStream::new();
+    };
+    // Lifetimes/bounds inside generics make a blanket impl string fragile;
+    // all in-tree derived types are concrete, so only handle that case and
+    // fall back to no impl (the marker traits are never used as bounds).
+    if !generics.is_empty() {
+        return TokenStream::new();
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker("Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker("Deserialize", input)
+}
