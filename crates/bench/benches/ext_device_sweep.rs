@@ -1,16 +1,17 @@
-//! Extension bench: decode throughput, power and dmabuf footprint across
-//! the three Snapdragon generations — Figures 11, 12 and 16 in one table.
+//! Extension bench: decode throughput across every execution backend,
+//! plus power and dmabuf footprint for the NPU runtime, on the three
+//! Snapdragon generations — Figures 11, 12 and 16 in one table.
 
 use edgellm::config::ModelId;
 use hexsim::device::DeviceProfile;
+use npuscale::backend::{all_backends, decode_sweep, SweepOutcome};
 use npuscale::memory::measure_overhead;
-use npuscale::pipeline::measure_decode;
 use npuscale::power::PowerModel;
 
 fn main() {
     benchutil::banner(
-        "Extension - device sweep (decode / power / memory)",
-        "paper Figs 11+12+16 across Hexagon V73/V75/V79",
+        "Extension - device sweep (decode / power / memory, all backends)",
+        "paper Figs 11+12+16 across Hexagon V73/V75/V79 + GPU/QNN/CPU baselines",
     );
     for device in DeviceProfile::all() {
         println!(
@@ -18,32 +19,55 @@ fn main() {
             device.name, device.soc, device.arch
         );
         println!(
-            "{:<8} {:>9} {:>9} {:>9} {:>9} {:>12}",
-            "model", "b1 tok/s", "b8 tok/s", "b16 tok/s", "W @ b8", "dmabuf MiB"
+            "{:<18} {:<8} {:>9} {:>9} {:>9} {:>9} {:>12}",
+            "system", "model", "b1 tok/s", "b8 tok/s", "b16 tok/s", "W @ b8", "dmabuf MiB"
         );
         let pm = PowerModel::new(device.clone());
+        let backends = all_backends(&device);
         for model in [ModelId::Llama1B, ModelId::Qwen1_5B, ModelId::Qwen3B] {
-            // KV-cache VA usage grows with batch, so larger batches can hit
-            // the session VA gate even when batch 1 fits — report each batch
-            // size independently instead of assuming b1 implies b8/b16.
-            let measured = [1, 8, 16].map(|batch| measure_decode(&device, model, batch, 1024));
-            match measured {
-                [Ok(p1), Ok(p8), Ok(p16)] => {
-                    let power = pm.measure(&p8);
-                    let mem = measure_overhead(model, &p8, 4096);
-                    println!(
-                        "{:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.2} {:>12.0}",
-                        model.label(),
-                        p1.tokens_per_sec,
-                        p8.tokens_per_sec,
-                        p16.tokens_per_sec,
-                        power.power_w,
-                        mem.dmabuf_mib
-                    );
-                }
-                [Err(e), ..] | [_, Err(e), _] | [_, _, Err(e)] => {
-                    println!("{:<8} cannot run: {e}", model.label())
-                }
+            for b in &backends {
+                let points = match decode_sweep(b.as_ref(), model, 1024, &[1, 8, 16]) {
+                    SweepOutcome::NeedsSharding(sessions) => {
+                        println!(
+                            "{:<18} {:<8} needs {} sessions (32-bit VA gate)",
+                            b.name(),
+                            model.label(),
+                            sessions
+                        );
+                        continue;
+                    }
+                    SweepOutcome::CannotRun(reason) => {
+                        println!("{:<18} {:<8} cannot run: {reason}", b.name(), model.label());
+                        continue;
+                    }
+                    SweepOutcome::Ran(points) => points,
+                };
+                let tps = |p: &Option<npuscale::DecodePoint>| match p {
+                    Some(p) => format!("{:>9.1}", p.tokens_per_sec),
+                    None => format!("{:>9}", "-"),
+                };
+                // Power/dmabuf accounting only describes the NPU runtime;
+                // analytic points carry no engine activity.
+                let (power, dmabuf) = match &points[1] {
+                    Some(p8) if p8.has_engine_activity() => {
+                        let mem = measure_overhead(model, p8, 4096, b.name());
+                        (
+                            format!("{:>9.2}", pm.measure(p8).power_w),
+                            format!("{:>12.0}", mem.dmabuf_mib),
+                        )
+                    }
+                    _ => (format!("{:>9}", "-"), format!("{:>12}", "-")),
+                };
+                println!(
+                    "{:<18} {:<8} {} {} {} {} {}",
+                    b.name(),
+                    model.label(),
+                    tps(&points[0]),
+                    tps(&points[1]),
+                    tps(&points[2]),
+                    power,
+                    dmabuf
+                );
             }
         }
     }

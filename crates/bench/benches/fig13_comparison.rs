@@ -1,12 +1,17 @@
-//! Figure 13: throughput comparison with the GPU and QNN baselines.
+//! Figure 13: throughput comparison with the GPU and QNN baselines,
+//! driven through the `Backend` trait.
+
+use hexsim::device::DeviceProfile;
+use npuscale::backend::figure13_backends;
 
 fn main() {
     benchutil::banner(
         "Figure 13 - inference throughput vs llama.cpp-OpenCL and QNN FP16",
         "paper Fig 13: GPU wins batch-1 decode; ours wins batched decode + prefill",
     );
+    let backends = figure13_backends(&DeviceProfile::v75());
     println!("--- decode (tok/s) ---");
-    let rows = npuscale::experiments::fig13_decode_rows();
+    let rows = npuscale::experiments::fig13_decode_rows(&backends);
     println!(
         "{:<18} {:<6} {:>6} {:>10}",
         "system", "model", "batch", "tok/s"
@@ -18,7 +23,7 @@ fn main() {
         );
     }
     println!("\n--- prefill (tok/s) ---");
-    let rows = npuscale::experiments::fig13_prefill_rows();
+    let rows = npuscale::experiments::fig13_prefill_rows(&backends);
     println!(
         "{:<18} {:<6} {:>8} {:>10}",
         "system", "model", "prompt", "tok/s"

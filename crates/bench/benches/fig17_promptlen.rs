@@ -1,18 +1,23 @@
-//! Figure 17: impact of prompt length on decoding throughput.
+//! Figure 17: impact of prompt length on decoding throughput, driven
+//! through the `Backend` trait.
+
+use hexsim::device::DeviceProfile;
+use npuscale::backend::npu_backend;
 
 fn main() {
     benchutil::banner(
         "Figure 17 - decode throughput vs prompt length",
         "paper Fig 17: mild decline from 512 to 4096 tokens",
     );
+    let backends = npu_backend(&DeviceProfile::v75());
     println!(
-        "{:<6} {:>8} {:>6} {:>10}",
-        "model", "prompt", "batch", "tok/s"
+        "{:<8} {:<6} {:>8} {:>6} {:>10}",
+        "system", "model", "prompt", "batch", "tok/s"
     );
-    for r in npuscale::experiments::fig17_rows() {
+    for r in npuscale::experiments::fig17_rows(&backends) {
         println!(
-            "{:<6} {:>8} {:>6} {:>10.1}",
-            r.model, r.prompt_len, r.batch, r.tokens_per_sec
+            "{:<8} {:<6} {:>8} {:>6} {:>10.1}",
+            r.system, r.model, r.prompt_len, r.batch, r.tokens_per_sec
         );
     }
 }

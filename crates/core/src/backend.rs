@@ -1,0 +1,554 @@
+//! The uniform execution interface every decode/prefill engine plugs
+//! into.
+//!
+//! The paper's evaluation (Figure 13) is a comparison across *systems* —
+//! the NPU runtime, llama.cpp's OpenCL backend on the Adreno GPU, QNN's
+//! FP16 deployment — and the roadmap adds more (a CPU fallback today;
+//! real OpenCL/QNN backends in the llm.npu / PowerInfer-2 direction
+//! later). [`Backend`] is the trait they all implement, so row
+//! generators, the device-sweep example and the benches iterate one
+//! `&[Box<dyn Backend>]` instead of hard-coding each engine:
+//!
+//! - [`Backend::fits`] — capacity probe. For the simulated NPU this runs
+//!   the [`MultiSession`] VA-gate check and
+//!   *reports* how many 32-bit sessions the model would need instead of
+//!   erroring, so callers can distinguish "needs sharding" from "cannot
+//!   run at all". For QNN it rejects `batch > 1`: static graphs cannot
+//!   express the dynamic batch test-time scaling needs.
+//! - [`Backend::decode`] — one measured decode step at a batch and
+//!   context length, as a [`DecodePoint`].
+//! - [`Backend::prefill`] — a measured prompt prefill, as a
+//!   [`PrefillPoint`].
+//!
+//! Implementations: [`NpuSimBackend`] (the full simulator pipeline),
+//! [`GpuBaseline`], [`QnnFp16Baseline`] and [`CpuRefBackend`] (analytic
+//! rooflines from [`crate::baselines`]). Analytic backends report zero
+//! engine activity in their points; power/engine-utilization consumers
+//! treat such points as opaque throughput numbers.
+
+use edgellm::config::{ModelConfig, ModelId};
+use hexsim::cost::NUM_ENGINES;
+use hexsim::prelude::*;
+
+use crate::baselines::{CpuRefBackend, GpuBaseline, QnnFp16Baseline};
+use crate::pipeline::{measure_decode, measure_prefill, DecodePoint, PrefillPoint};
+use crate::session::MultiSession;
+
+/// Result of a [`Backend::fits`] capacity probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FitReport {
+    /// Number of NPU sessions (32-bit VA spaces) the deployment needs.
+    /// `1` means it runs in one session today; `> 1` means it only runs
+    /// with the paper's Section 8 multi-session sharding. Non-NPU
+    /// backends always report `1`.
+    pub sessions: usize,
+    /// Total device-resident bytes the probe accounted (weights + KV).
+    pub bytes: u64,
+}
+
+/// A decode/prefill execution engine: the simulated NPU runtime or one of
+/// the comparison systems.
+pub trait Backend {
+    /// System label, as used in the paper's figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Probes whether `model` at `batch`/`ctx_len` can run, without
+    /// running it. Errors only when the backend cannot express the
+    /// configuration at all (e.g. QNN's static graphs at `batch > 1`, or
+    /// a single buffer larger than one NPU session's VA space).
+    fn fits(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<FitReport>;
+
+    /// Measures one decode step.
+    fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint>;
+
+    /// Measures a full prefill.
+    fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint>;
+}
+
+/// Builds a [`DecodePoint`] for an analytic (roofline) backend: pure
+/// throughput, no engine activity, no CPU share.
+fn analytic_decode_point(
+    device: &str,
+    model: ModelId,
+    batch: usize,
+    ctx_len: usize,
+    tokens_per_sec: f64,
+) -> DecodePoint {
+    DecodePoint {
+        model: model.label().to_string(),
+        device: device.to_string(),
+        batch,
+        ctx_len,
+        step_secs: batch as f64 / tokens_per_sec,
+        tokens_per_sec,
+        cpu_share: 0.0,
+        engine_secs: [0.0; NUM_ENGINES],
+    }
+}
+
+/// Builds a [`PrefillPoint`] for an analytic backend.
+fn analytic_prefill_point(
+    device: &str,
+    model: ModelId,
+    prompt_len: usize,
+    tokens_per_sec: f64,
+) -> PrefillPoint {
+    PrefillPoint {
+        model: model.label().to_string(),
+        device: device.to_string(),
+        prompt_len,
+        total_secs: prompt_len as f64 / tokens_per_sec,
+        tokens_per_sec,
+    }
+}
+
+/// The paper's runtime on the simulated Hexagon NPU — the "Ours" series
+/// of every figure, wrapping the [`crate::pipeline`] measurement
+/// functions.
+#[derive(Clone, Debug)]
+pub struct NpuSimBackend {
+    /// Device profile the pipeline simulates.
+    pub device: DeviceProfile,
+}
+
+impl NpuSimBackend {
+    /// Backend for a device profile.
+    pub fn new(device: DeviceProfile) -> Self {
+        NpuSimBackend { device }
+    }
+}
+
+impl Backend for NpuSimBackend {
+    fn name(&self) -> &'static str {
+        "Ours"
+    }
+
+    /// Maps the deployment into [`MultiSession`] at per-layer granularity
+    /// (one layer's weights never split across sessions, matching the
+    /// paper's Section 8 sharding sketch) plus the KV cache, and reports
+    /// the session count — the VA gate becomes a shard count instead of a
+    /// panic. Errors only when a single buffer exceeds one session.
+    fn fits(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<FitReport> {
+        let cfg = ModelConfig::for_id(model);
+        let kv_budget = batch * (ctx_len + 2);
+        let mut ms = MultiSession::new(self.device.session_va_bytes);
+        let mut bytes = 0u64;
+        for _ in 0..cfg.layers {
+            let b = cfg.npu_layer_weight_bytes();
+            ms.map(b)?;
+            bytes += b;
+        }
+        let kv = cfg.kv_cache_bytes(kv_budget);
+        ms.map(kv)?;
+        bytes += kv;
+        Ok(FitReport {
+            sessions: ms.sessions(),
+            bytes,
+        })
+    }
+
+    fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
+        measure_decode(&self.device, model, batch, ctx_len)
+    }
+
+    fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
+        measure_prefill(&self.device, model, prompt_len)
+    }
+}
+
+impl Backend for GpuBaseline {
+    fn name(&self) -> &'static str {
+        "llama.cpp-OpenCL"
+    }
+
+    fn fits(&self, _model: ModelId, _batch: usize, _ctx_len: usize) -> SimResult<FitReport> {
+        // Unified memory: no per-session VA gate on the GPU path.
+        Ok(FitReport {
+            sessions: 1,
+            bytes: 0,
+        })
+    }
+
+    fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
+        Ok(analytic_decode_point(
+            "GPU",
+            model,
+            batch,
+            ctx_len,
+            self.decode_tps(model, batch, ctx_len),
+        ))
+    }
+
+    fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
+        Ok(analytic_prefill_point(
+            "GPU",
+            model,
+            prompt_len,
+            self.prefill_tps(model, prompt_len),
+        ))
+    }
+}
+
+impl Backend for QnnFp16Baseline {
+    fn name(&self) -> &'static str {
+        "QNN FP16"
+    }
+
+    fn fits(&self, _model: ModelId, batch: usize, _ctx_len: usize) -> SimResult<FitReport> {
+        if batch > 1 {
+            return Err(SimError::Unsupported {
+                reason: format!("QNN static graphs fix the decode batch at 1 (requested {batch})"),
+            });
+        }
+        Ok(FitReport {
+            sessions: 1,
+            bytes: 0,
+        })
+    }
+
+    fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
+        self.fits(model, batch, ctx_len)?;
+        Ok(analytic_decode_point(
+            "QNN",
+            model,
+            batch,
+            ctx_len,
+            self.decode_tps(model),
+        ))
+    }
+
+    fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
+        Ok(analytic_prefill_point(
+            "QNN",
+            model,
+            prompt_len,
+            self.prefill_tps(model, prompt_len),
+        ))
+    }
+}
+
+impl Backend for CpuRefBackend {
+    fn name(&self) -> &'static str {
+        "CPU (cpu_ref)"
+    }
+
+    fn fits(&self, _model: ModelId, _batch: usize, _ctx_len: usize) -> SimResult<FitReport> {
+        Ok(FitReport {
+            sessions: 1,
+            bytes: 0,
+        })
+    }
+
+    fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
+        Ok(analytic_decode_point(
+            "CPU",
+            model,
+            batch,
+            ctx_len,
+            self.decode_tps(model, batch, ctx_len),
+        ))
+    }
+
+    fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
+        Ok(analytic_prefill_point(
+            "CPU",
+            model,
+            prompt_len,
+            self.prefill_tps(model, prompt_len),
+        ))
+    }
+}
+
+/// The Figure 13 comparison set on one device: the NPU runtime plus the
+/// two paper baselines, in the paper's legend order.
+pub fn figure13_backends(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(NpuSimBackend::new(device.clone())),
+        Box::new(GpuBaseline::default()),
+        Box::new(QnnFp16Baseline::default()),
+    ]
+}
+
+/// Every available execution backend on one device, the NPU runtime
+/// first (the device-sweep set).
+pub fn all_backends(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
+    let mut v = figure13_backends(device);
+    v.push(Box::new(CpuRefBackend::default()));
+    v
+}
+
+/// Just the simulated NPU runtime, for NPU-specific exhibits (Figures 16
+/// and 17 measure *our* runtime's overheads and context sensitivity).
+pub fn npu_backend(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
+    vec![Box::new(NpuSimBackend::new(device.clone()))]
+}
+
+/// One backend's decode sweep over several batch sizes — the shared
+/// row logic of the device-sweep surfaces (example and bench).
+pub enum SweepOutcome {
+    /// The smallest batch runs. One entry per requested batch; `None`
+    /// where that batch cannot run (QNN past batch 1, KV pushing past the
+    /// VA limit).
+    Ran(Vec<Option<DecodePoint>>),
+    /// The model only runs with the paper's Section 8 multi-session
+    /// sharding; carries the session count [`Backend::fits`] reported.
+    NeedsSharding(usize),
+    /// The configuration cannot run at all; carries the decode error.
+    CannotRun(String),
+}
+
+/// Probes `backend` at each batch in `batches` (each independently —
+/// KV growth can gate large batches even when batch 1 fits). When even
+/// the first batch fails, falls back to [`Backend::fits`] to distinguish
+/// "needs sharding" from "cannot run".
+pub fn decode_sweep(
+    backend: &dyn Backend,
+    model: ModelId,
+    ctx_len: usize,
+    batches: &[usize],
+) -> SweepOutcome {
+    assert!(!batches.is_empty());
+    let first = backend.decode(model, batches[0], ctx_len);
+    if let Err(e) = &first {
+        return match backend.fits(model, batches[0], ctx_len) {
+            Ok(fit) if fit.sessions > 1 => SweepOutcome::NeedsSharding(fit.sessions),
+            _ => SweepOutcome::CannotRun(e.to_string()),
+        };
+    }
+    let mut points = vec![first.ok()];
+    for &b in &batches[1..] {
+        points.push(backend.decode(model, b, ctx_len).ok());
+    }
+    SweepOutcome::Ran(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -----------------------------------------------------------------
+    // Golden parity: every Backend impl must reproduce the pre-redesign
+    // numbers bit-for-bit.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn npu_backend_matches_pipeline_bit_for_bit() {
+        let device = DeviceProfile::v75();
+        let b = NpuSimBackend::new(device.clone());
+        let via_trait = b.decode(ModelId::Qwen1_5B, 8, 1024).unwrap();
+        let direct = measure_decode(&device, ModelId::Qwen1_5B, 8, 1024).unwrap();
+        assert_eq!(via_trait.step_secs, direct.step_secs);
+        assert_eq!(via_trait.tokens_per_sec, direct.tokens_per_sec);
+        assert_eq!(via_trait.cpu_share, direct.cpu_share);
+        assert_eq!(via_trait.engine_secs, direct.engine_secs);
+        let p_trait = b.prefill(ModelId::Qwen1_5B, 512).unwrap();
+        let p_direct = measure_prefill(&device, ModelId::Qwen1_5B, 512).unwrap();
+        assert_eq!(p_trait.total_secs, p_direct.total_secs);
+        assert_eq!(p_trait.tokens_per_sec, p_direct.tokens_per_sec);
+    }
+
+    #[test]
+    fn baseline_backends_match_rooflines_bit_for_bit() {
+        let gpu = GpuBaseline::default();
+        let qnn = QnnFp16Baseline::default();
+        let cpu = CpuRefBackend::default();
+        for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
+            for batch in [1usize, 4, 16] {
+                assert_eq!(
+                    Backend::decode(&gpu, model, batch, 1024)
+                        .unwrap()
+                        .tokens_per_sec,
+                    gpu.decode_tps(model, batch, 1024)
+                );
+                assert_eq!(
+                    Backend::decode(&cpu, model, batch, 1024)
+                        .unwrap()
+                        .tokens_per_sec,
+                    cpu.decode_tps(model, batch, 1024)
+                );
+            }
+            assert_eq!(
+                Backend::decode(&qnn, model, 1, 1024)
+                    .unwrap()
+                    .tokens_per_sec,
+                qnn.decode_tps(model)
+            );
+            for prompt in [256usize, 1024] {
+                assert_eq!(
+                    Backend::prefill(&gpu, model, prompt)
+                        .unwrap()
+                        .tokens_per_sec,
+                    gpu.prefill_tps(model, prompt)
+                );
+                assert_eq!(
+                    Backend::prefill(&qnn, model, prompt)
+                        .unwrap()
+                        .tokens_per_sec,
+                    qnn.prefill_tps(model, prompt)
+                );
+                assert_eq!(
+                    Backend::prefill(&cpu, model, prompt)
+                        .unwrap()
+                        .tokens_per_sec,
+                    cpu.prefill_tps(model, prompt)
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The Figure 13 crossovers, via the trait.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn gpu_wins_batch_1_ours_wins_batched() {
+        let backends = figure13_backends(&DeviceProfile::v75());
+        let tps = |name: &str, batch: usize| {
+            backends
+                .iter()
+                .find(|b| b.name() == name)
+                .unwrap()
+                .decode(ModelId::Qwen1_5B, batch, 1024)
+                .unwrap()
+                .tokens_per_sec
+        };
+        // Paper Figure 13: GPU edges out the NPU at batch 1...
+        assert!(tps("llama.cpp-OpenCL", 1) > tps("Ours", 1) * 0.85);
+        // ...but saturates early while ours keeps scaling.
+        assert!(tps("Ours", 16) > tps("llama.cpp-OpenCL", 16) * 1.5);
+    }
+
+    #[test]
+    fn qnn_decode_pays_the_fp16_penalty() {
+        let backends = figure13_backends(&DeviceProfile::v75());
+        let qnn = backends.iter().find(|b| b.name() == "QNN FP16").unwrap();
+        let ours = backends.iter().find(|b| b.name() == "Ours").unwrap();
+        let qnn_b1 = qnn
+            .decode(ModelId::Qwen1_5B, 1, 1024)
+            .unwrap()
+            .tokens_per_sec;
+        // FP16 streams ~3.3 GB/step -> ~18 tok/s upper bound at 60 GB/s.
+        assert!((10.0..25.0).contains(&qnn_b1), "qnn decode {qnn_b1}");
+        // Static graphs cannot batch: the dynamic path laps it at batch 16.
+        assert!(qnn.decode(ModelId::Qwen1_5B, 16, 1024).is_err());
+        assert!(qnn.fits(ModelId::Qwen1_5B, 16, 1024).is_err());
+        let ours_b16 = ours
+            .decode(ModelId::Qwen1_5B, 16, 1024)
+            .unwrap()
+            .tokens_per_sec;
+        assert!(ours_b16 > 3.0 * qnn_b1, "ours {ours_b16} vs qnn {qnn_b1}");
+    }
+
+    #[test]
+    fn gpu_saturates_at_large_batch() {
+        let gpu = GpuBaseline::default();
+        let t1 = gpu.decode_tps(ModelId::Qwen1_5B, 1, 1024);
+        let t8 = gpu.decode_tps(ModelId::Qwen1_5B, 8, 1024);
+        let t16 = gpu.decode_tps(ModelId::Qwen1_5B, 16, 1024);
+        // Paper Figure 13: GPU ~12-15 tok/s at batch 1 on the 1.5B model.
+        assert!((8.0..20.0).contains(&t1), "gpu batch-1 {t1}");
+        assert!(t8 > t1, "some batch benefit expected");
+        // Compute-bound saturation: 16 is barely better than 8.
+        assert!(t16 < t8 * 1.6, "t8 {t8} t16 {t16}");
+    }
+
+    #[test]
+    fn prefill_ordering_matches_figure_13() {
+        let qnn = QnnFp16Baseline::default();
+        let gpu = GpuBaseline::default();
+        // Paper Figure 13: QNN FP16 prefill around 1000-1700 tok/s, GPU in
+        // the few-hundred range.
+        let q = qnn.prefill_tps(ModelId::Qwen1_5B, 1024);
+        assert!((700.0..2500.0).contains(&q), "qnn prefill {q}");
+        let g = gpu.prefill_tps(ModelId::Qwen1_5B, 1024);
+        assert!((100.0..900.0).contains(&g), "gpu prefill {g}");
+    }
+
+    #[test]
+    fn cpu_ref_trails_every_accelerated_path() {
+        let cpu = CpuRefBackend::default();
+        let gpu = GpuBaseline::default();
+        let npu = NpuSimBackend::new(DeviceProfile::v75());
+        // Batch-1 decode is memory-bound around 10 tok/s on the big cores.
+        let c1 = cpu.decode_tps(ModelId::Qwen1_5B, 1, 1024);
+        assert!((5.0..16.0).contains(&c1), "cpu batch-1 {c1}");
+        // The CPU saturates below the GPU and far below the batched NPU.
+        let c16 = cpu.decode_tps(ModelId::Qwen1_5B, 16, 1024);
+        assert!(c16 < gpu.decode_tps(ModelId::Qwen1_5B, 16, 1024));
+        let n16 = npu
+            .decode(ModelId::Qwen1_5B, 16, 1024)
+            .unwrap()
+            .tokens_per_sec;
+        assert!(n16 > 4.0 * c16, "npu {n16} vs cpu {c16}");
+        // CPU prefill is an order of magnitude below the NPU's.
+        let cp = cpu.prefill_tps(ModelId::Qwen1_5B, 512);
+        let np = npu.prefill(ModelId::Qwen1_5B, 512).unwrap().tokens_per_sec;
+        assert!(np > 5.0 * cp, "npu prefill {np} vs cpu {cp}");
+    }
+
+    // -----------------------------------------------------------------
+    // The fits probe and the VA gate.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn fits_reports_shard_count_instead_of_panicking() {
+        // The Figure 11 gate: Qwen3B exceeds the 8G2's per-session VA
+        // space. decode() errors; fits() reports the sharding workaround.
+        let v73 = NpuSimBackend::new(DeviceProfile::v73());
+        assert!(v73.decode(ModelId::Qwen3B, 1, 1024).is_err());
+        let fit = v73.fits(ModelId::Qwen3B, 1, 1024).unwrap();
+        assert!(fit.sessions > 1, "needs sharding: {fit:?}");
+        // On the paper's primary device one session suffices.
+        let v75 = NpuSimBackend::new(DeviceProfile::v75());
+        assert_eq!(v75.fits(ModelId::Qwen3B, 1, 1024).unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn decode_sweep_classifies_every_outcome() {
+        // NPU on 8G2 with Qwen3B: sharding required.
+        let v73 = NpuSimBackend::new(DeviceProfile::v73());
+        assert!(matches!(
+            decode_sweep(&v73, ModelId::Qwen3B, 1024, &[1, 8]),
+            SweepOutcome::NeedsSharding(2)
+        ));
+        // QNN runs batch 1 and dashes out the batched columns.
+        let qnn = QnnFp16Baseline::default();
+        match decode_sweep(&qnn, ModelId::Qwen1_5B, 1024, &[1, 8, 16]) {
+            SweepOutcome::Ran(points) => {
+                assert!(points[0].is_some());
+                assert!(points[1].is_none() && points[2].is_none());
+            }
+            _ => panic!("QNN batch 1 must run"),
+        }
+        // The GPU roofline runs everything.
+        match decode_sweep(
+            &GpuBaseline::default(),
+            ModelId::Qwen1_5B,
+            1024,
+            &[1, 8, 16],
+        ) {
+            SweepOutcome::Ran(points) => assert!(points.iter().all(|p| p.is_some())),
+            _ => panic!("GPU must run"),
+        }
+    }
+
+    #[test]
+    fn fits_agrees_with_decode_across_devices_and_models() {
+        for device in DeviceProfile::all() {
+            let b = NpuSimBackend::new(device.clone());
+            for model in ModelId::on_device() {
+                let fit = b.fits(model, 1, 1024).unwrap();
+                let runs = b.decode(model, 1, 1024).is_ok();
+                assert_eq!(
+                    fit.sessions == 1,
+                    runs,
+                    "{}/{}: fits {:?} vs decode ok={}",
+                    device.arch.soc_label(),
+                    model.label(),
+                    fit,
+                    runs
+                );
+            }
+        }
+    }
+}

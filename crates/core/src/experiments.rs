@@ -29,10 +29,10 @@ use ttscale::calib::{quant_capability, quant_skill_penalty};
 use ttscale::policy::CalibratedPolicy;
 use ttscale::verifier::SimOrm;
 
-use crate::baselines::{GpuBaseline, QnnFp16Baseline};
+use crate::backend::Backend;
 use crate::memory::{measure_overhead, OverheadPoint};
 use crate::pareto::{pareto_panel, Method, ParetoPoint};
-use crate::pipeline::{measure_decode, measure_prefill};
+use crate::pipeline::measure_decode;
 use crate::power::{PowerModel, PowerPoint};
 
 // ---------------------------------------------------------------------
@@ -435,67 +435,44 @@ pub struct Fig13PrefillRow {
     pub tokens_per_sec: f64,
 }
 
-/// Regenerates Figure 13's decode panels.
-pub fn fig13_decode_rows() -> Vec<Fig13DecodeRow> {
-    let device = DeviceProfile::v75();
-    let gpu = GpuBaseline::default();
-    let qnn = QnnFp16Baseline::default();
+/// Regenerates Figure 13's decode panels over a backend set
+/// (conventionally [`crate::backend::figure13_backends`]). Configurations
+/// a backend cannot run — the VA gate, QNN's batch-1 static graphs — are
+/// skipped, exactly as they are absent from the paper's plot.
+pub fn fig13_decode_rows(backends: &[Box<dyn Backend>]) -> Vec<Fig13DecodeRow> {
     let mut out = Vec::new();
     for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
         for batch in [1usize, 2, 4, 8, 16] {
-            if let Ok(p) = measure_decode(&device, model, batch, 1024) {
-                out.push(Fig13DecodeRow {
-                    system: "Ours".to_string(),
-                    model: model.label().to_string(),
-                    batch,
-                    tokens_per_sec: p.tokens_per_sec,
-                });
+            for b in backends {
+                if let Ok(p) = b.decode(model, batch, 1024) {
+                    out.push(Fig13DecodeRow {
+                        system: b.name().to_string(),
+                        model: model.label().to_string(),
+                        batch,
+                        tokens_per_sec: p.tokens_per_sec,
+                    });
+                }
             }
-            out.push(Fig13DecodeRow {
-                system: "llama.cpp-OpenCL".to_string(),
-                model: model.label().to_string(),
-                batch,
-                tokens_per_sec: gpu.decode_tps(model, batch, 1024),
-            });
         }
-        out.push(Fig13DecodeRow {
-            system: "QNN FP16".to_string(),
-            model: model.label().to_string(),
-            batch: 1,
-            tokens_per_sec: qnn.decode_tps(model),
-        });
     }
     out
 }
 
-/// Regenerates Figure 13's prefill panels.
-pub fn fig13_prefill_rows() -> Vec<Fig13PrefillRow> {
-    let device = DeviceProfile::v75();
-    let gpu = GpuBaseline::default();
-    let qnn = QnnFp16Baseline::default();
+/// Regenerates Figure 13's prefill panels over a backend set.
+pub fn fig13_prefill_rows(backends: &[Box<dyn Backend>]) -> Vec<Fig13PrefillRow> {
     let mut out = Vec::new();
     for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
         for prompt in [128usize, 256, 512, 1024, 2048] {
-            if let Ok(p) = measure_prefill(&device, model, prompt) {
-                out.push(Fig13PrefillRow {
-                    system: "Ours".to_string(),
-                    model: model.label().to_string(),
-                    prompt_len: prompt,
-                    tokens_per_sec: p.tokens_per_sec,
-                });
+            for b in backends {
+                if let Ok(p) = b.prefill(model, prompt) {
+                    out.push(Fig13PrefillRow {
+                        system: b.name().to_string(),
+                        model: model.label().to_string(),
+                        prompt_len: prompt,
+                        tokens_per_sec: p.tokens_per_sec,
+                    });
+                }
             }
-            out.push(Fig13PrefillRow {
-                system: "llama.cpp-OpenCL".to_string(),
-                model: model.label().to_string(),
-                prompt_len: prompt,
-                tokens_per_sec: gpu.prefill_tps(model, prompt),
-            });
-            out.push(Fig13PrefillRow {
-                system: "QNN FP16".to_string(),
-                model: model.label().to_string(),
-                prompt_len: prompt,
-                tokens_per_sec: qnn.prefill_tps(model, prompt),
-            });
         }
     }
     out
@@ -656,14 +633,21 @@ pub fn fig15_rows() -> Vec<Fig15Row> {
 // Figure 16 — CPU/memory overhead.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figure 16 (decode-stage CPU memory and utilization).
-pub fn fig16_rows() -> Vec<OverheadPoint> {
-    let device = DeviceProfile::v75();
+/// Regenerates Figure 16 (decode-stage CPU memory and utilization) over a
+/// backend set (conventionally [`crate::backend::npu_backend`]). The
+/// overhead model describes *our* runtime's CPU/dmabuf placement, so
+/// analytic points without engine activity are skipped rather than
+/// fabricated.
+pub fn fig16_rows(backends: &[Box<dyn Backend>]) -> Vec<OverheadPoint> {
     let mut out = Vec::new();
-    for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
-        for batch in [1usize, 2, 4, 8, 16] {
-            if let Ok(p) = measure_decode(&device, model, batch, 1024) {
-                out.push(measure_overhead(model, &p, 4096));
+    for b in backends {
+        for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
+            for batch in [1usize, 2, 4, 8, 16] {
+                if let Ok(p) = b.decode(model, batch, 1024) {
+                    if p.has_engine_activity() {
+                        out.push(measure_overhead(model, &p, 4096, b.name()));
+                    }
+                }
             }
         }
     }
@@ -677,6 +661,8 @@ pub fn fig16_rows() -> Vec<OverheadPoint> {
 /// One Figure 17 point.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig17Row {
+    /// System label.
+    pub system: String,
     /// Model label.
     pub model: String,
     /// Prompt length (context at decode time).
@@ -687,20 +673,23 @@ pub struct Fig17Row {
     pub tokens_per_sec: f64,
 }
 
-/// Regenerates Figure 17.
-pub fn fig17_rows() -> Vec<Fig17Row> {
-    let device = DeviceProfile::v75();
+/// Regenerates Figure 17 over a backend set (conventionally
+/// [`crate::backend::npu_backend`]).
+pub fn fig17_rows(backends: &[Box<dyn Backend>]) -> Vec<Fig17Row> {
     let mut out = Vec::new();
-    for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
-        for &prompt in &[512usize, 1024, 2048, 4096] {
-            for &batch in &[1usize, 2, 4, 8, 16] {
-                if let Ok(p) = measure_decode(&device, model, batch, prompt) {
-                    out.push(Fig17Row {
-                        model: model.label().to_string(),
-                        prompt_len: prompt,
-                        batch,
-                        tokens_per_sec: p.tokens_per_sec,
-                    });
+    for b in backends {
+        for model in [ModelId::Qwen1_5B, ModelId::Qwen3B] {
+            for &prompt in &[512usize, 1024, 2048, 4096] {
+                for &batch in &[1usize, 2, 4, 8, 16] {
+                    if let Ok(p) = b.decode(model, batch, prompt) {
+                        out.push(Fig17Row {
+                            system: b.name().to_string(),
+                            model: model.label().to_string(),
+                            prompt_len: prompt,
+                            batch,
+                            tokens_per_sec: p.tokens_per_sec,
+                        });
+                    }
                 }
             }
         }

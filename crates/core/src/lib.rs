@@ -2,21 +2,29 @@
 //! scaling: the paper's primary contribution, assembled from the substrate
 //! crates.
 //!
+//! - [`backend`] — the [`backend::Backend`] trait every execution engine
+//!   implements (`fits`/`decode`/`prefill`), with the simulated NPU
+//!   runtime and the GPU/QNN/CPU rooflines behind one
+//!   `&[Box<dyn Backend>]` interface.
 //! - [`session`] — the FastRPC/rpcmem runtime protocol: shared-memory
 //!   command ring with explicit cache maintenance (one-way coherence), a
 //!   polling NPU dispatcher, and the multi-session extension the paper
-//!   sketches for the 32-bit VA limit.
+//!   sketches for the 32-bit VA limit. Re-exports the continuous-batching
+//!   [`session::DecodeSession`] decode API.
 //! - [`pipeline`] — decode/prefill measurement pipelines over the full
 //!   model forward (Figures 11, 13, 17).
 //! - [`power`] — activity-based power/energy accounting (Figure 12).
 //! - [`memory`] — dmabuf/CPU-RSS/CPU-utilization accounting (Figure 16).
-//! - [`baselines`] — analytic llama.cpp-OpenCL (Adreno GPU) and QNN-FP16
-//!   roofline baselines (Figure 13).
+//! - [`baselines`] — analytic llama.cpp-OpenCL (Adreno GPU), QNN-FP16 and
+//!   mobile-CPU roofline constants (Figure 13); execute them through
+//!   [`backend`].
 //! - [`pareto`] — accuracy-vs-latency joins for the test-time-scaling
 //!   trade-off (Figure 10).
 //! - [`experiments`] — one typed row-generator per paper table/figure;
-//!   the bench harness prints exactly these rows.
+//!   the bench harness prints exactly these rows. The system-comparison
+//!   generators (Figures 13, 16, 17) consume `&[Box<dyn Backend>]`.
 
+pub mod backend;
 pub mod baselines;
 pub mod experiments;
 pub mod memory;
@@ -25,6 +33,7 @@ pub mod pipeline;
 pub mod power;
 pub mod session;
 
+pub use backend::{Backend, FitReport, NpuSimBackend};
 pub use pipeline::{DecodePoint, PrefillPoint};
 pub use power::PowerModel;
-pub use session::{NpuSession, SessionConfig};
+pub use session::{DecodeSession, NpuSession, SessionConfig};

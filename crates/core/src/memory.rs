@@ -14,6 +14,8 @@ use crate::pipeline::DecodePoint;
 /// One memory/CPU overhead measurement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct OverheadPoint {
+    /// System label (the backend the decode point came from).
+    pub system: String,
     /// Model label.
     pub model: String,
     /// Decode batch size.
@@ -31,8 +33,14 @@ pub struct OverheadPoint {
 const RUNTIME_RSS_MIB: f64 = 22.0;
 
 /// Computes the overhead point for a decode measurement at a context
-/// budget (4096 in the paper's Section 7.5).
-pub fn measure_overhead(model: ModelId, point: &DecodePoint, ctx_budget: usize) -> OverheadPoint {
+/// budget (4096 in the paper's Section 7.5). `system` labels the backend
+/// the point was measured on.
+pub fn measure_overhead(
+    model: ModelId,
+    point: &DecodePoint,
+    ctx_budget: usize,
+    system: &str,
+) -> OverheadPoint {
     let cfg = ModelConfig::for_id(model);
     let mib = |b: f64| b / (1024.0 * 1024.0);
 
@@ -51,6 +59,7 @@ pub fn measure_overhead(model: ModelId, point: &DecodePoint, ctx_budget: usize) 
     let cpu_util_pct = 100.0 * (3.0 + 0.6 * point.cpu_share * 4.0).min(4.0);
 
     OverheadPoint {
+        system: system.to_string(),
         model: point.model.clone(),
         batch: point.batch,
         cpu_rss_mib,
@@ -68,7 +77,7 @@ mod tests {
     fn point(model: ModelId, batch: usize) -> OverheadPoint {
         let d = DeviceProfile::v75();
         let p = measure_decode(&d, model, batch, 1024).unwrap();
-        measure_overhead(model, &p, 4096)
+        measure_overhead(model, &p, 4096, "Ours")
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Each pipeline builds a cost-only model on the requested device, sets up
 //! the KV state, runs the real forward pass (every kernel charging the
 //! calibrated cost model), and reports throughput plus engine-level busy
-//! times — the raw material for Figures 11, 12, 13, 16 and 17.
+//! times — the raw material for Figures 11, 12, 13, 16 and 17. These are
+//! the measurement engine behind [`crate::backend::NpuSimBackend`]; the
+//! comparison exhibits reach them through the
+//! [`crate::backend::Backend`] trait.
 
 use edgellm::config::ModelId;
 use edgellm::kv_cache::KvCache;
@@ -47,6 +50,16 @@ pub struct PrefillPoint {
     pub total_secs: f64,
     /// Prefill throughput in tokens/second.
     pub tokens_per_sec: f64,
+}
+
+impl DecodePoint {
+    /// Whether the point carries engine-level activity data. Measured NPU
+    /// points always do; analytic roofline points (GPU/QNN/CPU backends)
+    /// carry pure throughput and report `false` — power, utilization and
+    /// memory-placement models only apply when this holds.
+    pub fn has_engine_activity(&self) -> bool {
+        self.engine_secs.iter().any(|&s| s > 0.0)
+    }
 }
 
 /// Errors from the pipeline (model does not fit the device, ...).

@@ -11,11 +11,21 @@
 //!
 //! `MultiSession` implements the paper's sketched workaround (Section 8)
 //! for the 32-bit per-session VA limit: weights spread across several
-//! sessions, each with its own VA budget.
+//! sessions, each with its own VA budget. The
+//! [`crate::backend::Backend::fits`] probe maps deployments through it so
+//! the VA gate surfaces as a shard count rather than an error.
+//!
+//! On top of the command transport, this module re-exports the
+//! continuous-batching [`DecodeSession`] (implemented in
+//! `edgellm::decode_session`, where the model and KV cache live): the
+//! `admit`/`step`/`retire` decode API whose dynamic batches are the
+//! paper's argument for bypassing QNN's static graphs.
 
 use hexsim::cost::Engine;
 use hexsim::prelude::*;
 use serde::{Deserialize, Serialize};
+
+pub use edgellm::decode_session::{DecodeSession, FinishedSeq, SeqId};
 
 /// Command opcodes the CPU can enqueue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]

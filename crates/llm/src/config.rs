@@ -200,6 +200,17 @@ impl ModelConfig {
         self.npu_layer_weight_bytes() * self.layers as u64
     }
 
+    /// Approximate non-embedding parameter count, recovered from the
+    /// deployed quantized byte footprint at the blended 4.5 bits/weight of
+    /// the paper's deployment ([`Self::npu_weight_bytes`] · 8 / 4.5).
+    ///
+    /// Every analytic baseline scales from this one number: FLOP counts
+    /// are `2 · float_params()` per token, and an FP16 deployment streams
+    /// `2 · float_params()` weight bytes per decode step.
+    pub fn float_params(&self) -> f64 {
+        self.npu_weight_bytes() as f64 / 4.5 * 8.0
+    }
+
     /// KV cache bytes for a total context budget of `budget` tokens
     /// (FP16 K and V across layers).
     pub fn kv_cache_bytes(&self, budget: usize) -> u64 {

@@ -1,0 +1,449 @@
+//! Continuous-batching decode session: `admit` / `step` / `retire`.
+//!
+//! The paper's motivation for bypassing QNN is that test-time scaling
+//! needs *dynamic* batched decode: Best-of-N trajectories finish at
+//! different lengths, and a static graph keeps paying for slots whose
+//! samples already emitted their answer. [`DecodeSession`] is the dynamic
+//! counterpart — a fixed pool of KV slots over one shared prompt, where
+//! sequences are admitted ([`DecodeSession::admit`]), stepped as one HMX
+//! batch ([`DecodeSession::step`]), and retired either automatically when
+//! they exhaust their token budget or explicitly
+//! ([`DecodeSession::retire`]). A retirement frees the KV slot *within the
+//! same step*, and the head of the admission queue takes it over
+//! immediately, so the decode batch (and with it HMX tile occupancy)
+//! stays full while any work remains.
+//!
+//! The session runs in both execution modes: functional (tiny models,
+//! real logits flow to the sampling callback) and cost-only (paper-scale
+//! models, the callback sees an empty logits row and only the simulated
+//! step costs accumulate).
+
+use std::collections::VecDeque;
+
+use hexsim::prelude::*;
+
+use crate::kv_cache::{KvCache, KvSeqSnapshot};
+use crate::model::{Model, StepCost};
+
+/// Stable identifier of one admitted sequence, assigned in admission
+/// order starting from zero.
+pub type SeqId = u64;
+
+/// A finished sequence: its id and every generated token in order (the
+/// first token handed to [`DecodeSession::admit`] included).
+#[derive(Clone, Debug)]
+pub struct FinishedSeq {
+    /// Id returned by [`DecodeSession::admit`].
+    pub id: SeqId,
+    /// Generated tokens in emission order.
+    pub tokens: Vec<u32>,
+}
+
+/// A sequence currently occupying a KV slot.
+struct ActiveSeq {
+    id: SeqId,
+    /// Newest token, fed to the next decode step.
+    current: u32,
+    /// Tokens emitted so far (the admission token counts as one).
+    emitted: usize,
+    /// Total tokens this sequence may emit.
+    max_new: usize,
+    /// Every emitted token, in order.
+    tokens: Vec<u32>,
+}
+
+/// A sequence admitted while all slots were busy.
+struct QueuedSeq {
+    id: SeqId,
+    first: u32,
+    max_new: usize,
+}
+
+/// Continuous-batching decode over one model and one shared prompt.
+pub struct DecodeSession<'m> {
+    model: &'m Model,
+    cache: KvCache,
+    prompt: KvSeqSnapshot,
+    prompt_logits: Vec<f32>,
+    prefill_cost: StepCost,
+    /// One entry per KV slot; `None` marks a free slot.
+    slots: Vec<Option<ActiveSeq>>,
+    queue: VecDeque<QueuedSeq>,
+    finished: Vec<FinishedSeq>,
+    next_id: SeqId,
+    steps: usize,
+    decode_cost: StepCost,
+    decoded_tokens: usize,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// Opens a session: allocates a KV cache of `max_batch` slots with a
+    /// shared `kv_budget` (total tokens across slots), prefills the prompt
+    /// once, snapshots its KV as the shared admission state, and frees
+    /// every slot.
+    pub fn new(
+        ctx: &mut NpuContext,
+        model: &'m Model,
+        prompt_tokens: &[u32],
+        max_batch: usize,
+        kv_budget: usize,
+    ) -> SimResult<Self> {
+        assert!(max_batch >= 1, "session needs at least one slot");
+        let mut cache = KvCache::new(ctx, &model.cfg, max_batch, kv_budget)?;
+        let out = match model.prefill(ctx, &mut cache, 0, prompt_tokens) {
+            Ok(out) => out,
+            Err(e) => {
+                // Return the already-mapped KV allocation on failure so
+                // repeated failed opens cannot exhaust the session VA.
+                ctx.ddr_free(cache.buf);
+                return Err(e);
+            }
+        };
+        let prompt = cache.snapshot_seq(0);
+        cache.reset_seq(0);
+        Ok(DecodeSession {
+            model,
+            cache,
+            prompt,
+            prompt_logits: out.logits,
+            prefill_cost: out.cost,
+            slots: (0..max_batch).map(|_| None).collect(),
+            queue: VecDeque::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            steps: 0,
+            decode_cost: StepCost::default(),
+            decoded_tokens: 0,
+        })
+    }
+
+    /// Admits a sequence over the shared prompt KV. `first_token` is its
+    /// first generated token (callers sample it from
+    /// [`Self::prompt_logits`]); the sequence may emit `max_new_tokens`
+    /// tokens in total before it auto-retires. If every slot is busy the
+    /// sequence queues and activates as soon as a slot retires.
+    pub fn admit(&mut self, first_token: u32, max_new_tokens: usize) -> SimResult<SeqId> {
+        assert!(max_new_tokens >= 1, "a sequence emits at least one token");
+        let id = self.next_id;
+        self.next_id += 1;
+        if max_new_tokens == 1 {
+            // The admission token is the whole output; no slot needed.
+            self.finished.push(FinishedSeq {
+                id,
+                tokens: vec![first_token],
+            });
+            return Ok(id);
+        }
+        match self.free_slot() {
+            Some(slot) => self.activate(slot, id, first_token, max_new_tokens)?,
+            None => self.queue.push_back(QueuedSeq {
+                id,
+                first: first_token,
+                max_new: max_new_tokens,
+            }),
+        }
+        Ok(id)
+    }
+
+    /// Runs one batched decode step over every active slot. `sample` maps
+    /// a sequence's logits row (empty in cost-only mode) to its next
+    /// token. Sequences reaching their token budget retire and their slot
+    /// is refilled from the queue *within the same step*. Returns the
+    /// `(id, token)` pairs emitted this step, in slot order; empty when
+    /// nothing is active.
+    ///
+    /// If a step errors (e.g. KV budget exhaustion) and the session is
+    /// abandoned, call [`Self::release`] to return its KV allocation —
+    /// the simulated DDR mapping is owned by the context, not dropped
+    /// with the session.
+    pub fn step<F>(&mut self, ctx: &mut NpuContext, mut sample: F) -> SimResult<Vec<(SeqId, u32)>>
+    where
+        F: FnMut(SeqId, &[f32]) -> u32,
+    {
+        let seqs: Vec<usize> = (0..self.slots.len())
+            .filter(|&s| self.slots[s].is_some())
+            .collect();
+        if seqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let tokens: Vec<u32> = seqs
+            .iter()
+            .map(|&s| self.slots[s].as_ref().expect("active").current)
+            .collect();
+        let out = self
+            .model
+            .decode_step_for(ctx, &mut self.cache, &seqs, &tokens)?;
+        self.steps += 1;
+        self.decode_cost.add(&out.cost);
+
+        let vocab = self.model.cfg.vocab;
+        let mut emitted = Vec::with_capacity(seqs.len());
+        for (row, &slot) in seqs.iter().enumerate() {
+            let finished_now = {
+                let active = self.slots[slot].as_mut().expect("active");
+                let logits = if out.logits.is_empty() {
+                    &[][..]
+                } else {
+                    &out.logits[row * vocab..(row + 1) * vocab]
+                };
+                let next = sample(active.id, logits);
+                active.current = next;
+                active.emitted += 1;
+                active.tokens.push(next);
+                emitted.push((active.id, next));
+                active.emitted >= active.max_new
+            };
+            self.decoded_tokens += 1;
+            if finished_now {
+                self.retire_slot(slot)?;
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Retires a sequence early (e.g. on EOS): frees its KV slot — or
+    /// removes it from the queue — and refills the slot from the queue.
+    /// Errors on unknown or already-finished ids.
+    pub fn retire(&mut self, id: SeqId) -> SimResult<()> {
+        if let Some(slot) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().map(|a| a.id) == Some(id))
+        {
+            return self.retire_slot(slot);
+        }
+        if let Some(qi) = self.queue.iter().position(|q| q.id == id) {
+            let q = self.queue.remove(qi).expect("indexed");
+            self.finished.push(FinishedSeq {
+                id: q.id,
+                tokens: vec![q.first],
+            });
+            return Ok(());
+        }
+        Err(SimError::Unsupported {
+            reason: format!("sequence {id} is not active or queued"),
+        })
+    }
+
+    /// Logits of the shared prompt's final position (empty in cost-only
+    /// mode); the distribution admission tokens are sampled from.
+    pub fn prompt_logits(&self) -> &[f32] {
+        &self.prompt_logits
+    }
+
+    /// Cost of the one-time prompt prefill.
+    pub fn prefill_cost(&self) -> StepCost {
+        self.prefill_cost
+    }
+
+    /// Number of sequences currently occupying slots.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of admitted sequences waiting for a slot.
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Slot-pool size (the maximum decode batch).
+    pub fn max_batch(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Finished sequences, in retirement order.
+    pub fn finished(&self) -> &[FinishedSeq] {
+        &self.finished
+    }
+
+    /// Finished sequences sorted by admission id, consuming the session
+    /// and returning its KV allocation to the context (so repeated runs
+    /// on one context do not exhaust the session VA space).
+    pub fn into_finished(mut self, ctx: &mut NpuContext) -> Vec<FinishedSeq> {
+        ctx.ddr_free(self.cache.buf);
+        self.finished.sort_by_key(|f| f.id);
+        self.finished
+    }
+
+    /// Decode steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Tokens emitted by decode steps (admission tokens excluded — those
+    /// come from the shared prefill).
+    pub fn decoded_tokens(&self) -> usize {
+        self.decoded_tokens
+    }
+
+    /// Accumulated cost of every decode step.
+    pub fn decode_cost(&self) -> StepCost {
+        self.decode_cost
+    }
+
+    /// Simulated decode wall seconds so far.
+    pub fn decode_secs(&self) -> f64 {
+        self.decode_cost.wall_secs()
+    }
+
+    /// Decode throughput in tokens per simulated second.
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        let secs = self.decode_secs();
+        if secs > 0.0 {
+            self.decoded_tokens as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Releases the session's KV allocation back to the context.
+    pub fn release(self, ctx: &mut NpuContext) {
+        ctx.ddr_free(self.cache.buf);
+    }
+
+    fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_none())
+    }
+
+    fn activate(&mut self, slot: usize, id: SeqId, first: u32, max_new: usize) -> SimResult<()> {
+        self.cache.restore_seq(slot, &self.prompt)?;
+        self.slots[slot] = Some(ActiveSeq {
+            id,
+            current: first,
+            emitted: 1,
+            max_new,
+            tokens: vec![first],
+        });
+        Ok(())
+    }
+
+    fn retire_slot(&mut self, slot: usize) -> SimResult<()> {
+        let done = self.slots[slot].take().expect("retiring an active slot");
+        self.cache.reset_seq(slot);
+        self.finished.push(FinishedSeq {
+            id: done.id,
+            tokens: done.tokens,
+        });
+        if let Some(q) = self.queue.pop_front() {
+            self.activate(slot, q.id, q.first, q.max_new)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelId;
+    use htpops::gemm::DequantVariant;
+
+    fn setup() -> (NpuContext, Model) {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 11).unwrap();
+        (ctx, model)
+    }
+
+    fn drain(
+        session: &mut DecodeSession<'_>,
+        ctx: &mut NpuContext,
+        max_steps: usize,
+    ) -> Vec<Vec<(SeqId, u32)>> {
+        let mut per_step = Vec::new();
+        while session.active_count() > 0 {
+            assert!(per_step.len() < max_steps, "session failed to drain");
+            per_step.push(session.step(ctx, |id, _| 4 + (id as u32 % 100)).unwrap());
+        }
+        per_step
+    }
+
+    #[test]
+    fn early_retirement_admits_queued_sequences_same_step() {
+        let (mut ctx, model) = setup();
+        let prompt = [2u32, 10, 11, 12];
+        let mut s = DecodeSession::new(&mut ctx, &model, &prompt, 2, 64).unwrap();
+        // Two active (lengths 2 and 5), one queued (length 3).
+        s.admit(40, 2).unwrap();
+        s.admit(41, 5).unwrap();
+        let queued = s.admit(42, 3).unwrap();
+        assert_eq!(s.active_count(), 2);
+        assert_eq!(s.queued_count(), 1);
+        // Step 1: sequence 0 hits its budget and retires; the queued
+        // sequence takes the freed slot within the same step.
+        s.step(&mut ctx, |_, _| 7).unwrap();
+        assert_eq!(s.queued_count(), 0);
+        assert_eq!(s.active_count(), 2);
+        assert_eq!(s.finished().len(), 1);
+        assert_eq!(s.finished()[0].tokens, vec![40, 7]);
+        drain(&mut s, &mut ctx, 16);
+        let ddr_before = ctx.ddr_mapped_bytes();
+        let done = s.into_finished(&mut ctx);
+        assert!(ctx.ddr_mapped_bytes() < ddr_before, "KV must be freed");
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[queued as usize].tokens.len(), 3);
+        assert_eq!(done[1].tokens.len(), 5);
+    }
+
+    #[test]
+    fn explicit_retire_frees_slot_and_queue() {
+        let (mut ctx, model) = setup();
+        let prompt = [2u32, 20, 21];
+        let mut s = DecodeSession::new(&mut ctx, &model, &prompt, 1, 32).unwrap();
+        let a = s.admit(50, 10).unwrap();
+        let b = s.admit(51, 4).unwrap();
+        assert_eq!(s.queued_count(), 1);
+        // Retiring the active sequence promotes the queued one.
+        s.retire(a).unwrap();
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.queued_count(), 0);
+        // Retiring a queued-then-active id twice errors.
+        s.retire(b).unwrap();
+        assert!(s.retire(b).is_err());
+        assert!(s.retire(99).is_err());
+        assert_eq!(s.finished().len(), 2);
+    }
+
+    #[test]
+    fn single_token_budget_finishes_without_a_slot() {
+        let (mut ctx, model) = setup();
+        let prompt = [2u32, 30];
+        let mut s = DecodeSession::new(&mut ctx, &model, &prompt, 2, 32).unwrap();
+        s.admit(60, 1).unwrap();
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.finished().len(), 1);
+        assert_eq!(s.finished()[0].tokens, vec![60]);
+        assert_eq!(s.steps(), 0);
+    }
+
+    #[test]
+    fn failed_open_frees_its_kv_allocation() {
+        let (mut ctx, model) = setup();
+        let before = ctx.ddr_mapped_bytes();
+        // Prompt exceeds the KV budget: prefill fails inside new().
+        let prompt = vec![2u32; 16];
+        assert!(DecodeSession::new(&mut ctx, &model, &prompt, 2, 4).is_err());
+        assert_eq!(ctx.ddr_mapped_bytes(), before, "failed open must not leak");
+    }
+
+    #[test]
+    fn cost_only_session_accumulates_simulated_time() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let model =
+            Model::new(&mut ctx, ModelId::Qwen1_5B, DequantVariant::CoalescedLut, 1).unwrap();
+        let prompt = vec![0u32; 64];
+        let mut s = DecodeSession::new(&mut ctx, &model, &prompt, 4, 4 * (64 + 8)).unwrap();
+        for _ in 0..4 {
+            s.admit(0, 3).unwrap();
+        }
+        while s.active_count() > 0 {
+            s.step(&mut ctx, |_, logits| {
+                assert!(logits.is_empty());
+                0
+            })
+            .unwrap();
+        }
+        assert_eq!(s.steps(), 2);
+        assert_eq!(s.decoded_tokens(), 8);
+        assert!(s.decode_secs() > 0.0);
+        assert!(s.decode_tokens_per_sec() > 0.0);
+    }
+}

@@ -12,6 +12,26 @@ use hexsim::prelude::*;
 
 use crate::config::ModelConfig;
 
+/// Immutable copy of one sequence's KV rows — the shared-prompt state a
+/// continuous-batching scheduler re-installs into freed slots when it
+/// admits a queued sequence (see `decode_session`).
+#[derive(Clone, Debug, Default)]
+pub struct KvSeqSnapshot {
+    /// Tokens captured.
+    len: usize,
+    /// Per-layer flat `[len, kv_dim]` K rows (empty in cost-only mode).
+    k: Vec<Vec<F16>>,
+    /// Same shape for values.
+    v: Vec<Vec<F16>>,
+}
+
+impl KvSeqSnapshot {
+    /// Number of tokens the snapshot carries.
+    pub fn tokens(&self) -> usize {
+        self.len
+    }
+}
+
 /// Batched per-layer KV storage.
 pub struct KvCache {
     layers: usize,
@@ -140,6 +160,64 @@ impl KvCache {
         self.len[seq] = n;
     }
 
+    /// Clears one sequence's KV and returns its tokens to the shared
+    /// budget. This is the slot-reuse primitive behind continuous
+    /// batching: a trajectory that finishes early frees its slot so a
+    /// queued sample can be admitted in its place.
+    pub fn reset_seq(&mut self, seq: usize) {
+        self.len[seq] = 0;
+        if !self.k.is_empty() {
+            for layer in 0..self.layers {
+                self.k[layer][seq].clear();
+                self.v[layer][seq].clear();
+            }
+        }
+    }
+
+    /// Captures one sequence's KV rows (typically the shared prompt after
+    /// prefill) so they can be re-installed into freed slots later.
+    pub fn snapshot_seq(&self, seq: usize) -> KvSeqSnapshot {
+        let functional = !self.k.is_empty();
+        KvSeqSnapshot {
+            len: self.len[seq],
+            k: if functional {
+                (0..self.layers).map(|l| self.k[l][seq].clone()).collect()
+            } else {
+                Vec::new()
+            },
+            v: if functional {
+                (0..self.layers).map(|l| self.v[l][seq].clone()).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Replaces one sequence's KV with a snapshot (admission of a new
+    /// sequence into a freed slot). Returns an error when the shared
+    /// budget cannot absorb the snapshot's tokens.
+    pub fn restore_seq(&mut self, seq: usize, snap: &KvSeqSnapshot) -> SimResult<()> {
+        let others: usize = self.total_tokens() - self.len[seq];
+        if others + snap.len > self.budget {
+            return Err(SimError::Unsupported {
+                reason: format!("KV budget of {} tokens exhausted", self.budget),
+            });
+        }
+        self.len[seq] = snap.len;
+        if !self.k.is_empty() {
+            assert_eq!(
+                snap.k.len(),
+                self.layers,
+                "functional cache needs a functional snapshot"
+            );
+            for layer in 0..self.layers {
+                self.k[layer][seq] = snap.k[layer].clone();
+                self.v[layer][seq] = snap.v[layer].clone();
+            }
+        }
+        Ok(())
+    }
+
     /// Copies sequence 0's cache into every other sequence (prompt
     /// broadcast after a shared prefill; test-time scaling fans one prompt
     /// out to N samples).
@@ -245,6 +323,34 @@ mod tests {
             let (k, _) = cache.head_view(1, s, 0);
             assert_eq!(k[0].to_f32(), 5.0);
         }
+    }
+
+    #[test]
+    fn reset_restore_reuses_slots_within_budget() {
+        // Budget 4: a 2-token prompt fits twice, not three times — unless
+        // a slot is reset in between (the continuous-batching invariant).
+        let (_ctx, mut cache, cfg) = setup(3, 4);
+        for layer in 0..cfg.layers {
+            cache
+                .append(layer, 0, &row(&cfg, 1.0), &row(&cfg, 2.0), true)
+                .unwrap();
+            cache
+                .append(layer, 0, &row(&cfg, 3.0), &row(&cfg, 4.0), true)
+                .unwrap();
+        }
+        let snap = cache.snapshot_seq(0);
+        assert_eq!(snap.tokens(), 2);
+        cache.restore_seq(1, &snap).unwrap();
+        let err = cache.restore_seq(2, &snap).unwrap_err();
+        assert!(matches!(err, SimError::Unsupported { .. }));
+        // Retiring slot 0 returns its tokens; slot 2 can now be admitted.
+        cache.reset_seq(0);
+        assert_eq!(cache.len(0), 0);
+        cache.restore_seq(2, &snap).unwrap();
+        let (k, v) = cache.head_view(0, 2, 0);
+        assert_eq!(k[0].to_f32(), 1.0);
+        assert_eq!(v[0].to_f32(), 2.0);
+        assert_eq!(cache.total_tokens(), 4);
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //! - [`weights`] — synthetic quantized weights resident in simulated DDR
 //!   (Q4_0 everywhere, Q8_0 for the FFN down projection, per Section 7.1),
 //!   with dmabuf-style memory accounting (Figure 16).
-//! - [`kv_cache`] — batched KV cache with a fixed context budget.
+//! - [`kv_cache`] — batched KV cache with a fixed context budget and
+//!   slot reuse (reset/snapshot/restore) for continuous batching.
 //! - [`model`] — the NPU forward pass: every matmul through
 //!   [`htpops::gemm`], attention through the paper's FP16 FlashAttention,
 //!   lm_head on the CPU (Section 7.2.2's deliberate placement).
+//! - [`decode_session`] — continuous-batching decode (`admit` / `step` /
+//!   `retire` over a shared prompt), the dynamic-batch API static QNN
+//!   graphs cannot express.
 //! - [`cpu_ref`] — f32 reference forward for validation.
 //! - [`tokenizer`] — deterministic byte-level tokenizer for the synthetic
 //!   math workloads.
@@ -24,6 +28,7 @@
 
 pub mod config;
 pub mod cpu_ref;
+pub mod decode_session;
 pub mod kv_cache;
 pub mod model;
 pub mod ppl;
@@ -31,6 +36,7 @@ pub mod tokenizer;
 pub mod weights;
 
 pub use config::{ModelConfig, ModelId};
-pub use kv_cache::KvCache;
+pub use decode_session::{DecodeSession, FinishedSeq, SeqId};
+pub use kv_cache::{KvCache, KvSeqSnapshot};
 pub use model::{DecodeOutput, Model, StepCost};
 pub use tokenizer::Tokenizer;

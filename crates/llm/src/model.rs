@@ -174,8 +174,10 @@ impl Model {
     }
 
     /// One transformer layer over `rows` rows of `x`, appending KV and
-    /// attending per sequence. `positions[s]` is the absolute position of
-    /// sequence `s`'s current token (decode) or the prefill start.
+    /// attending per sequence. In prefill mode `positions[0]` is the start
+    /// of the prefilled span; in decode mode `positions[r]` is the absolute
+    /// position of row `r`'s token (sequences at different depths may share
+    /// one batch under continuous batching).
     #[allow(clippy::too_many_arguments)]
     fn layer_forward(
         &self,
@@ -185,7 +187,7 @@ impl Model {
         rows: usize,
         cache: &mut KvCache,
         seqs: &[usize],
-        start_pos: usize,
+        positions: &[usize],
         prefill: bool,
         cost: &mut StepCost,
     ) -> SimResult<()> {
@@ -218,7 +220,11 @@ impl Model {
         let snap = ctx.cost.snapshot();
         if functional {
             for r in 0..rows {
-                let pos = if prefill { start_pos + r } else { start_pos };
+                let pos = if prefill {
+                    positions[0] + r
+                } else {
+                    positions[r]
+                };
                 for h in 0..cfg.heads {
                     misc::rope(
                         ctx,
@@ -298,7 +304,7 @@ impl Model {
                 } else {
                     (Vec::new(), Vec::new(), Vec::new())
                 };
-                let (out, bd) = fa.run_causal(ctx, shape, &qs, &ks, &vs, start_pos);
+                let (out, bd) = fa.run_causal(ctx, shape, &qs, &ks, &vs, positions[0]);
                 cost.attn_secs += bd.total_wall();
                 if functional {
                     for gh in 0..g {
@@ -488,7 +494,7 @@ impl Model {
                 rows,
                 cache,
                 &[seq],
-                start_pos,
+                &[start_pos],
                 true,
                 &mut cost,
             )?;
@@ -525,23 +531,54 @@ impl Model {
         Ok(DecodeOutput { logits, cost })
     }
 
-    /// One batched decode step: `tokens[i]` is the newest token of
-    /// sequence `i`. Returns per-sequence logits and the step cost.
+    /// One batched decode step over the leading cache slots: `tokens[i]`
+    /// is the newest token of sequence `i`. Returns per-sequence logits
+    /// and the step cost.
     pub fn decode_step(
         &self,
         ctx: &mut NpuContext,
         cache: &mut KvCache,
         tokens: &[u32],
     ) -> SimResult<DecodeOutput> {
+        let seqs: Vec<usize> = (0..tokens.len()).collect();
+        self.decode_step_for(ctx, cache, &seqs, tokens)
+    }
+
+    /// One batched decode step over an explicit set of cache slots:
+    /// `tokens[i]` is the newest token of slot `seqs[i]`. Slots may sit at
+    /// different context depths — continuous batching admits and retires
+    /// sequences mid-stream — and each row attends to its own slot's KV at
+    /// its own length. Returns per-row logits in `seqs` order.
+    pub fn decode_step_for(
+        &self,
+        ctx: &mut NpuContext,
+        cache: &mut KvCache,
+        seqs: &[usize],
+        tokens: &[u32],
+    ) -> SimResult<DecodeOutput> {
         let functional = ctx.mode == ExecMode::Functional;
         let batch = tokens.len();
-        assert!(batch <= cache.batch(), "more tokens than cached sequences");
+        assert_eq!(batch, seqs.len(), "one token per decoded slot");
+        assert!(batch >= 1, "decode step needs at least one sequence");
+        assert!(
+            seqs.iter().all(|&s| s < cache.batch()),
+            "slot index out of range"
+        );
+        {
+            // A duplicated slot would double-append to one KV sequence and
+            // let the second row attend to a half-updated cache.
+            let mut sorted = seqs.to_vec();
+            sorted.sort_unstable();
+            assert!(
+                sorted.windows(2).all(|w| w[0] != w[1]),
+                "decoded slots must be unique"
+            );
+        }
         let hidden = self.cfg.hidden;
         let mut cost = StepCost::default();
-        let seqs: Vec<usize> = (0..batch).collect();
-        // Every sequence decodes at its current position (uniform batches
-        // in test-time scaling: positions coincide).
-        let start_pos = cache.len(0);
+        // Each sequence decodes at its own current position (uniform in
+        // plain test-time scaling; staggered under continuous batching).
+        let positions: Vec<usize> = seqs.iter().map(|&s| cache.len(s)).collect();
 
         let snap = ctx.cost.snapshot();
         ctx.cost.charge_cpu(0, (batch * hidden * 2) as u64);
@@ -558,7 +595,7 @@ impl Model {
 
         for layer in 0..self.cfg.layers {
             self.layer_forward(
-                ctx, layer, &mut x, batch, cache, &seqs, start_pos, false, &mut cost,
+                ctx, layer, &mut x, batch, cache, seqs, &positions, false, &mut cost,
             )?;
         }
 

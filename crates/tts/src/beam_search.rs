@@ -49,6 +49,10 @@ pub struct BeamOutcome {
     pub total_tokens: usize,
     /// Tokens in the winning beam (useful output length).
     pub chosen_tokens: usize,
+    /// Tokens spent on candidate steps discarded at pruning — the slack a
+    /// continuous-batching decoder (`DecodeSession`) reclaims by retiring
+    /// pruned candidates' KV slots instead of decoding them to the end.
+    pub pruned_tokens: usize,
 }
 
 /// Runs step-level beam search on one task.
@@ -72,6 +76,7 @@ pub fn beam_search(
         cfg.width
     ];
     let mut total_tokens = 0usize;
+    let mut pruned_tokens = 0usize;
 
     for _step in 0..n_steps {
         let mut candidates: Vec<Beam> = Vec::with_capacity(cfg.width * cfg.expansion);
@@ -91,19 +96,26 @@ pub fn beam_search(
                 candidates.push(next);
             }
         }
-        candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
-        candidates.truncate(cfg.width);
+        // total_cmp: PRM scores are sums of float rewards, and a NaN from
+        // a poisoned reward must not panic the pruning sort.
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let dropped = candidates.split_off(cfg.width);
+        pruned_tokens += dropped
+            .iter()
+            .map(|c| c.steps.last().expect("expanded").tokens)
+            .sum::<usize>();
         beams = candidates;
     }
 
     let best = beams
         .into_iter()
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .max_by(|a, b| a.score.total_cmp(&b.score))
         .expect("width >= 1");
     BeamOutcome {
         correct: best.all_correct,
         total_tokens,
         chosen_tokens: best.tokens + 15,
+        pruned_tokens,
     }
 }
 
@@ -218,6 +230,38 @@ mod tests {
         let out = beam_search(&policy, &prm, &tasks[0], cfg, 1);
         // Total compute = width x expansion samples per step.
         assert!(out.total_tokens >= out.chosen_tokens);
+    }
+
+    #[test]
+    fn pruned_tokens_quantify_reclaimable_slack() {
+        let (policy, tasks) = setup();
+        let prm = SimPrm::default();
+        // With expansion > 1, W·(E-1) candidates are discarded per step;
+        // their step tokens are the slack continuous batching reclaims.
+        let wide = beam_search(
+            &policy,
+            &prm,
+            &tasks[0],
+            BeamSearchConfig {
+                width: 2,
+                expansion: 4,
+            },
+            9,
+        );
+        assert!(wide.pruned_tokens > 0);
+        assert!(wide.pruned_tokens < wide.total_tokens);
+        // With expansion 1 nothing is ever pruned.
+        let narrow = beam_search(
+            &policy,
+            &prm,
+            &tasks[0],
+            BeamSearchConfig {
+                width: 3,
+                expansion: 1,
+            },
+            9,
+        );
+        assert_eq!(narrow.pruned_tokens, 0);
     }
 
     #[test]

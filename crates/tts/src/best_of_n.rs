@@ -23,6 +23,10 @@ pub struct BonOutcome {
     pub any_correct: bool,
     /// Mean generated tokens per sample.
     pub mean_tokens: f64,
+    /// Generated tokens per sample, in sampling order — the length
+    /// distribution a continuous-batching scheduler (the `DecodeSession`
+    /// behind `llm_policy`) exploits when trajectories finish early.
+    pub sample_tokens: Vec<usize>,
 }
 
 /// Runs Best-of-N on one task.
@@ -37,12 +41,12 @@ pub fn best_of_n(
     let mut score_rng = StdRng::seed_from_u64(seed ^ task.id.wrapping_mul(0xBEEF));
     let mut best: Option<(f64, Trajectory)> = None;
     let mut any_correct = false;
-    let mut token_sum = 0usize;
+    let mut sample_tokens = Vec::with_capacity(n);
     for sample in 0..n {
         let mut rng = policy.task_rng(task, seed.wrapping_add(sample as u64 * 7919));
         let traj = policy.sample_trajectory(task, &mut rng);
         any_correct |= traj.is_correct(task);
-        token_sum += traj.tokens;
+        sample_tokens.push(traj.tokens);
         let score = orm.score(&traj, task.answer, &mut score_rng);
         if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
             best = Some((score, traj));
@@ -54,7 +58,8 @@ pub fn best_of_n(
         chosen,
         correct,
         any_correct,
-        mean_tokens: token_sum as f64 / n as f64,
+        mean_tokens: sample_tokens.iter().sum::<usize>() as f64 / n as f64,
+        sample_tokens,
     }
 }
 
@@ -158,5 +163,22 @@ mod tests {
         let a = accuracy_over_tasks(&policy, &orm, &tasks[..100], 4, 42);
         let b = accuracy_over_tasks(&policy, &orm, &tasks[..100], 4, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_lengths_vary_enough_to_reward_continuous_batching() {
+        // The length distribution handed to the DecodeSession scheduler
+        // must actually be ragged, otherwise continuous batching has
+        // nothing to reclaim.
+        let (policy, tasks) = setup();
+        let orm = SimOrm::default();
+        let out = best_of_n(&policy, &orm, &tasks[0], 8, 13);
+        assert_eq!(out.sample_tokens.len(), 8);
+        let min = *out.sample_tokens.iter().min().unwrap();
+        let max = *out.sample_tokens.iter().max().unwrap();
+        assert!(min >= 1);
+        assert!(max > min, "lengths must vary: {:?}", out.sample_tokens);
+        let mean = out.sample_tokens.iter().sum::<usize>() as f64 / 8.0;
+        assert!((mean - out.mean_tokens).abs() < 1e-9);
     }
 }

@@ -1,15 +1,22 @@
 //! End-to-end Best-of-N through the simulated NPU with a real (tiny)
-//! transformer: prefill once, broadcast the prompt KV, decode N samples as
-//! one batch, extract and verify answers.
+//! transformer: prefill once, share the prompt KV through a
+//! [`DecodeSession`], decode N samples with continuous batching, extract
+//! and verify answers.
 //!
 //! This is the integration path that exercises every layer of the stack —
-//! tokenizer, batched KV cache, tile-quantized GEMMs, FP16 FlashAttention
-//! with the `vgather` exp LUT, CPU lm_head, temperature sampling — exactly
-//! the way the paper's runtime executes Best-of-N on the phone. The tiny
-//! model is untrained, so its *answers* are noise; what this module
-//! demonstrates and tests is the machinery and its costs, not task skill
-//! (the calibrated policy covers accuracy).
+//! tokenizer, batched KV cache with slot reuse, tile-quantized GEMMs, FP16
+//! FlashAttention with the `vgather` exp LUT, CPU lm_head, temperature
+//! sampling — exactly the way the paper's runtime executes Best-of-N on
+//! the phone. The tiny model is untrained, so its *answers* are noise;
+//! what this module demonstrates and tests is the machinery and its
+//! costs, not task skill (the calibrated policy covers accuracy).
+//!
+//! [`llm_bon_continuous`] and [`llm_bon_fixed_batch`] run the same
+//! variable-length workload through the dynamic session and through a
+//! static-graph-style fixed batch respectively; their throughput gap is
+//! the paper's core argument for bypassing QNN.
 
+use edgellm::decode_session::DecodeSession;
 use edgellm::kv_cache::KvCache;
 use edgellm::model::{Model, StepCost};
 use edgellm::tokenizer::Tokenizer;
@@ -37,24 +44,40 @@ impl Default for LlmSampler {
 }
 
 impl LlmSampler {
-    /// Samples one token id from a logits row.
+    /// Samples one token id from a logits row. NaN logits (a poisoned
+    /// softmax upstream) are treated as negative infinity: they never
+    /// panic the sort and never get sampled.
     pub fn sample(&self, logits: &[f32], rng: &mut StdRng) -> u32 {
         if self.temperature <= 0.0 {
             return argmax(logits);
         }
+        // NaN-proof logit accessor: total_cmp orders NaN deterministically,
+        // and mapping NaN to -inf zeroes its sampling weight.
+        let logit = |i: usize| {
+            let v = logits[i];
+            if v.is_nan() {
+                f32::NEG_INFINITY
+            } else {
+                v
+            }
+        };
         // Top-k filter.
         let mut idx: Vec<usize> = (0..logits.len()).collect();
-        idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap());
+        idx.sort_by(|&a, &b| logit(b).total_cmp(&logit(a)));
         let k = if self.top_k == 0 {
             logits.len()
         } else {
             self.top_k.min(logits.len())
         };
         let kept = &idx[..k];
-        let maxv = logits[kept[0]];
+        let maxv = logit(kept[0]);
+        if !maxv.is_finite() {
+            // Every candidate is NaN/-inf; nothing to weight.
+            return kept[0] as u32;
+        }
         let weights: Vec<f64> = kept
             .iter()
-            .map(|&i| (((logits[i] - maxv) / self.temperature) as f64).exp())
+            .map(|&i| (((logit(i) - maxv) / self.temperature) as f64).exp())
             .collect();
         let total: f64 = weights.iter().sum();
         let mut pick = rng.gen_range(0.0..total);
@@ -69,9 +92,14 @@ impl LlmSampler {
 }
 
 fn argmax(logits: &[f32]) -> u32 {
+    // NaN entries are never selected (unless every entry is NaN, which
+    // degrades to index 0), matching the sampled path's NaN handling.
     let mut best = 0usize;
     for (i, &v) in logits.iter().enumerate() {
-        if v > logits[best] {
+        if v.is_nan() {
+            continue;
+        }
+        if logits[best].is_nan() || v > logits[best] {
             best = i;
         }
     }
@@ -121,7 +149,10 @@ pub struct LlmBonOutcome {
     pub decode_tokens_per_sec: f64,
 }
 
-/// Runs Best-of-N end to end on the simulated NPU.
+/// Runs Best-of-N end to end on the simulated NPU through a
+/// [`DecodeSession`]: one shared prefill, then all `n` samples decode as
+/// one continuously batched pool (uniform budgets here, so the batch
+/// stays at `n` until every sample retires together).
 ///
 /// # Panics
 ///
@@ -135,6 +166,62 @@ pub fn llm_best_of_n(
     seed: u64,
 ) -> SimResult<LlmBonOutcome> {
     assert!(n >= 1);
+    // Plain Best-of-N is the uniform-length special case of the
+    // continuous-batching runner with every slot occupied at once.
+    let lengths = vec![max_new_tokens; n];
+    let report = llm_bon_continuous(ctx, model, task, &lengths, n, seed)?;
+    let answers: Vec<Option<i64>> = report
+        .completions
+        .iter()
+        .map(|c| extract_answer(c))
+        .collect();
+    let any_correct = answers
+        .iter()
+        .any(|a| a.map(|v| task.verify(v)).unwrap_or(false));
+    Ok(LlmBonOutcome {
+        answers,
+        any_correct,
+        steps: report.steps,
+        cost: report.total_cost,
+        decode_tokens_per_sec: report.tokens_per_sec,
+        completions: report.completions,
+    })
+}
+
+/// Decode-side report of one batched Best-of-N machinery run, used to
+/// compare scheduling strategies on identical workloads.
+#[derive(Clone, Debug)]
+pub struct BatchedBonReport {
+    /// Decoded completions in admission order.
+    pub completions: Vec<String>,
+    /// Decode-sampled tokens that landed within a sample's budget (the
+    /// admission token is excluded on both sides: it comes from the
+    /// shared prefill).
+    pub useful_tokens: usize,
+    /// Simulated decode wall seconds.
+    pub decode_secs: f64,
+    /// Useful decode throughput, tokens per simulated second.
+    pub tokens_per_sec: f64,
+    /// Decode steps executed.
+    pub steps: usize,
+    /// Accumulated cost of prefill(s) + every decode step.
+    pub total_cost: StepCost,
+}
+
+/// Runs a variable-length Best-of-N workload (`lengths[i]` = total tokens
+/// sample `i` may emit) through the continuous-batching
+/// [`DecodeSession`]: at most `max_batch` samples decode concurrently,
+/// and every early finisher's slot is re-used by a queued sample in the
+/// same step.
+pub fn llm_bon_continuous(
+    ctx: &mut NpuContext,
+    model: &Model,
+    task: &MathTask,
+    lengths: &[usize],
+    max_batch: usize,
+    seed: u64,
+) -> SimResult<BatchedBonReport> {
+    assert!(!lengths.is_empty());
     assert_eq!(
         ctx.mode,
         ExecMode::Functional,
@@ -143,56 +230,118 @@ pub fn llm_best_of_n(
     let tok = Tokenizer::new();
     let prompt = format!("{}\nAnswer: ", task.statement);
     let prompt_tokens = tok.encode_with_bos(&prompt);
+    let max_len = lengths.iter().copied().max().expect("non-empty");
+    let budget = max_batch * (prompt_tokens.len() + max_len + 2) + prompt_tokens.len();
 
-    let budget = prompt_tokens.len() + n * (max_new_tokens + 1) + 8;
-    let mut cache = KvCache::new(ctx, &model.cfg, n, budget * n)?;
-    let mut total = StepCost::default();
-
-    // Prefill once on sequence 0, then share the prompt KV across samples.
-    let prefill = model.prefill(ctx, &mut cache, 0, &prompt_tokens)?;
-    total.add(&prefill.cost);
-    cache.broadcast_prompt(true);
-
-    // Sample the first token per sequence from the prefill logits.
+    let mut session = DecodeSession::new(ctx, model, &prompt_tokens, max_batch, budget)?;
     let sampler = LlmSampler::default();
     let mut rng = StdRng::seed_from_u64(seed ^ task.id);
-    let mut current: Vec<u32> = (0..n)
-        .map(|_| sampler.sample(&prefill.logits, &mut rng))
-        .collect();
-    let mut generated: Vec<Vec<u32>> = (0..n).map(|s| vec![current[s]]).collect();
-
-    let mut decode_secs = 0.0f64;
-    let mut steps = 0usize;
-    for _ in 1..max_new_tokens {
-        let out = model.decode_step(ctx, &mut cache, &current)?;
-        total.add(&out.cost);
-        decode_secs += out.cost.wall_secs();
-        steps += 1;
-        for s in 0..n {
-            let row = &out.logits[s * model.cfg.vocab..(s + 1) * model.cfg.vocab];
-            let next = sampler.sample(row, &mut rng);
-            current[s] = next;
-            generated[s].push(next);
-        }
+    for &len in lengths {
+        let first = sampler.sample(session.prompt_logits(), &mut rng);
+        session.admit(first, len)?;
+    }
+    while session.active_count() > 0 {
+        session.step(ctx, |_, row| sampler.sample(row, &mut rng))?;
     }
 
-    let completions: Vec<String> = generated.iter().map(|g| tok.decode(g)).collect();
-    let answers: Vec<Option<i64>> = completions.iter().map(|c| extract_answer(c)).collect();
-    let any_correct = answers
+    let useful_tokens = session.decoded_tokens();
+    let decode_secs = session.decode_secs();
+    let steps = session.steps();
+    let mut total_cost = session.prefill_cost();
+    total_cost.add(&session.decode_cost());
+    let completions = session
+        .into_finished(ctx)
         .iter()
-        .any(|a| a.map(|v| task.verify(v)).unwrap_or(false));
-    let tokens = steps * n;
-    Ok(LlmBonOutcome {
+        .map(|f| tok.decode(&f.tokens))
+        .collect();
+    Ok(BatchedBonReport {
         completions,
-        answers,
-        any_correct,
-        steps,
-        cost: total,
-        decode_tokens_per_sec: if decode_secs > 0.0 {
-            tokens as f64 / decode_secs
+        useful_tokens,
+        decode_secs,
+        tokens_per_sec: if decode_secs > 0.0 {
+            useful_tokens as f64 / decode_secs
         } else {
             0.0
         },
+        steps,
+        total_cost,
+    })
+}
+
+/// The same workload through a static fixed batch, the way a
+/// static-graph deployment (QNN-style) has to run it: samples are chunked
+/// into waves of `max_batch`, every wave decodes the *full* batch until
+/// its longest sample finishes, and slots whose samples finished early —
+/// or were never occupied in a ragged final wave — keep burning decode
+/// steps because the compiled batch cannot shrink or swap mid-flight.
+pub fn llm_bon_fixed_batch(
+    ctx: &mut NpuContext,
+    model: &Model,
+    task: &MathTask,
+    lengths: &[usize],
+    max_batch: usize,
+    seed: u64,
+) -> SimResult<BatchedBonReport> {
+    assert!(!lengths.is_empty());
+    assert!(max_batch >= 1);
+    assert_eq!(
+        ctx.mode,
+        ExecMode::Functional,
+        "end-to-end runs are functional"
+    );
+    let tok = Tokenizer::new();
+    let prompt = format!("{}\nAnswer: ", task.statement);
+    let prompt_tokens = tok.encode_with_bos(&prompt);
+    let sampler = LlmSampler::default();
+    let mut rng = StdRng::seed_from_u64(seed ^ task.id);
+
+    let mut completions = Vec::with_capacity(lengths.len());
+    let mut useful_tokens = 0usize;
+    let mut decode_secs = 0.0f64;
+    let mut steps = 0usize;
+    let mut total_cost = StepCost::default();
+    for wave in lengths.chunks(max_batch) {
+        let wave_max = wave.iter().copied().max().expect("non-empty");
+        let budget = max_batch * (prompt_tokens.len() + wave_max + 2);
+        let mut cache = KvCache::new(ctx, &model.cfg, max_batch, budget)?;
+        let prefill = model.prefill(ctx, &mut cache, 0, &prompt_tokens)?;
+        total_cost.add(&prefill.cost);
+        cache.broadcast_prompt(true);
+        let mut current: Vec<u32> = (0..max_batch)
+            .map(|_| sampler.sample(&prefill.logits, &mut rng))
+            .collect();
+        let mut generated: Vec<Vec<u32>> = current.iter().map(|&t| vec![t]).collect();
+        for _ in 1..wave_max {
+            let out = model.decode_step(ctx, &mut cache, &current)?;
+            decode_secs += out.cost.wall_secs();
+            total_cost.add(&out.cost);
+            steps += 1;
+            for s in 0..max_batch {
+                let row = &out.logits[s * model.cfg.vocab..(s + 1) * model.cfg.vocab];
+                let next = sampler.sample(row, &mut rng);
+                current[s] = next;
+                // Tokens past a sample's budget (or in an unoccupied
+                // padding slot) are decoded but wasted.
+                if s < wave.len() && generated[s].len() < wave[s] {
+                    generated[s].push(next);
+                    useful_tokens += 1;
+                }
+            }
+        }
+        ctx.ddr_free(cache.buf);
+        completions.extend(generated[..wave.len()].iter().map(|g| tok.decode(g)));
+    }
+    Ok(BatchedBonReport {
+        completions,
+        useful_tokens,
+        decode_secs,
+        tokens_per_sec: if decode_secs > 0.0 {
+            useful_tokens as f64 / decode_secs
+        } else {
+            0.0
+        },
+        steps,
+        total_cost,
     })
 }
 
@@ -219,6 +368,29 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(s.sample(&[0.1, 0.9, 0.3], &mut rng), 1);
+    }
+
+    #[test]
+    fn sampler_survives_nan_logits() {
+        // NaN logits must neither panic the top-k sort nor be sampled.
+        let s = LlmSampler {
+            temperature: 1.0,
+            top_k: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let t = s.sample(&[f32::NAN, 1.0, f32::NAN, 2.0], &mut rng);
+            assert!(t == 1 || t == 3, "sampled NaN index {t}");
+        }
+        // All-NaN rows degrade to a deterministic pick instead of a panic.
+        let t = s.sample(&[f32::NAN, f32::NAN], &mut rng);
+        assert!(t < 2);
+        // The greedy path must not pick a NaN either, even at index 0.
+        let greedy = LlmSampler {
+            temperature: 0.0,
+            top_k: 0,
+        };
+        assert_eq!(greedy.sample(&[f32::NAN, 1.0, 2.0], &mut rng), 2);
     }
 
     #[test]
@@ -269,5 +441,45 @@ mod tests {
                 .completions
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn continuous_batching_beats_fixed_batch_when_half_finish_early() {
+        // Half the samples emit 2 tokens, half emit 16 — the Best-of-N
+        // shape where answers arrive at very different lengths. The fixed
+        // batch (static-graph semantics) decodes two full waves to the
+        // longest sample; the DecodeSession retires the short ones and
+        // refills their slots from the queue in the same step.
+        let lengths = [2usize, 16, 2, 16, 2, 16, 2, 16];
+        let max_batch = 4;
+        let run = |fixed: bool| {
+            let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+            let model =
+                Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 3).unwrap();
+            let task = TaskGenerator::new(DatasetKind::Gsm8kLike, 5).next_task();
+            if fixed {
+                llm_bon_fixed_batch(&mut ctx, &model, &task, &lengths, max_batch, 7).unwrap()
+            } else {
+                llm_bon_continuous(&mut ctx, &model, &task, &lengths, max_batch, 7).unwrap()
+            }
+        };
+        let cont = run(false);
+        let fixed = run(true);
+        // Identical useful work on both sides: every sample's budget minus
+        // its prefill-sampled admission token.
+        let expected: usize = lengths.iter().map(|l| l - 1).sum();
+        assert_eq!(cont.useful_tokens, expected);
+        assert_eq!(fixed.useful_tokens, expected);
+        assert_eq!(cont.completions.len(), lengths.len());
+        assert_eq!(fixed.completions.len(), lengths.len());
+        // The tentpole claim: continuous batching turns the early
+        // finishers' slack into useful throughput.
+        assert!(
+            cont.tokens_per_sec > fixed.tokens_per_sec * 1.2,
+            "continuous {} tok/s vs fixed {} tok/s",
+            cont.tokens_per_sec,
+            fixed.tokens_per_sec
+        );
+        assert!(cont.decode_secs < fixed.decode_secs);
     }
 }

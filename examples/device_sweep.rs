@@ -1,8 +1,14 @@
-//! Device sweep: decode/prefill throughput, power, and memory across the
-//! three Snapdragon generations (Figures 11, 12, 16 in one view).
+//! Device sweep: decode/prefill throughput across every execution
+//! backend, plus power and memory for the NPU runtime, on the three
+//! Snapdragon generations (Figures 11, 12, 13 and 16 in one view).
+//!
+//! Every engine is driven through the `Backend` trait — the same
+//! `&[Box<dyn Backend>]` the Figure 13 row-generators consume — so adding
+//! a backend adds a row here without touching this loop.
 //!
 //! Run with: `cargo run --release --example device_sweep`
 
+use npuscale::backend::{all_backends, decode_sweep, SweepOutcome};
 use npuscale::memory::measure_overhead;
 use npuscale_repro::prelude::*;
 
@@ -13,39 +19,65 @@ fn main() {
             device.name, device.soc, device.arch
         );
         let pm = PowerModel::new(device.clone());
+        let backends = all_backends(&device);
         for model in [ModelId::Llama1B, ModelId::Qwen1_5B, ModelId::Qwen3B] {
-            print!("{:<6}", model.label());
-            match measure_decode(&device, model, 1, 1024) {
-                Ok(p1) => {
-                    let p8 = measure_decode(&device, model, 8, 1024).unwrap();
-                    let p16 = measure_decode(&device, model, 16, 1024).unwrap();
-                    let power = pm.measure(&p8);
-                    let mem = measure_overhead(model, &p8, 4096);
-                    println!(
-                        " decode b1/b8/b16: {:>5.1}/{:>5.1}/{:>6.1} tok/s | {:>4.2} W @ b8 | dmabuf {:>5.0} MiB",
-                        p1.tokens_per_sec,
-                        p8.tokens_per_sec,
-                        p16.tokens_per_sec,
-                        power.power_w,
-                        mem.dmabuf_mib
-                    );
+            for b in &backends {
+                print!("{:<6} {:<18}", model.label(), b.name());
+                let points = match decode_sweep(b.as_ref(), model, 1024, &[1, 8, 16]) {
+                    // The fits probe turns the VA gate into a shard count
+                    // instead of a bare failure.
+                    SweepOutcome::NeedsSharding(sessions) => {
+                        println!(" needs {sessions} sessions (32-bit VA gate)");
+                        continue;
+                    }
+                    SweepOutcome::CannotRun(reason) => {
+                        println!(" cannot run: {reason}");
+                        continue;
+                    }
+                    SweepOutcome::Ran(points) => points,
+                };
+                let tps = |p: &Option<npuscale::DecodePoint>| {
+                    p.as_ref()
+                        .map(|p| format!("{:>6.1}", p.tokens_per_sec))
+                        .unwrap_or_else(|| format!("{:>6}", "-"))
+                };
+                print!(
+                    " decode b1/b8/b16: {}/{}/{}",
+                    tps(&points[0]),
+                    tps(&points[1]),
+                    tps(&points[2])
+                );
+                // Power and dmabuf accounting describe the NPU runtime
+                // only; analytic baselines report no engine activity.
+                if let Some(p8) = &points[1] {
+                    if p8.has_engine_activity() {
+                        let power = pm.measure(p8);
+                        let mem = measure_overhead(model, p8, 4096, b.name());
+                        print!(
+                            " | {:>4.2} W @ b8 | dmabuf {:>5.0} MiB",
+                            power.power_w, mem.dmabuf_mib
+                        );
+                    }
                 }
-                Err(e) => println!(" cannot run: {e}"),
+                println!();
             }
         }
         // Prefill at a few prompt lengths (Figure 13 upper panels).
         for model in [ModelId::Qwen1_5B] {
-            print!("{:<6} prefill", model.label());
-            for prompt in [256usize, 1024, 2048] {
-                if let Ok(p) = measure_prefill(&device, model, prompt) {
-                    print!("  {}t: {:>6.0} tok/s", prompt, p.tokens_per_sec);
+            for b in &backends {
+                print!("{:<6} {:<18} prefill", model.label(), b.name());
+                for prompt in [256usize, 1024, 2048] {
+                    if let Ok(p) = b.prefill(model, prompt) {
+                        print!("  {}t: {:>6.0} tok/s", prompt, p.tokens_per_sec);
+                    }
                 }
+                println!();
             }
-            println!();
         }
     }
     println!(
-        "\nNote: Qwen3B fails on the 8G2 with a session VA-space error — the\n\
-         exact gate the paper reports for Snapdragon 8 Gen 2 (Section 7.2.1)."
+        "\nNote: Qwen3B on the 8G2 reports the session count the paper's\n\
+         Section 8 multi-session workaround would need — the exact VA gate\n\
+         reported for Snapdragon 8 Gen 2 (Section 7.2.1)."
     );
 }

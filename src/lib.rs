@@ -34,6 +34,7 @@ pub use ttscale;
 /// The most commonly used items across the stack.
 pub mod prelude {
     pub use edgellm::config::{ModelConfig, ModelId};
+    pub use edgellm::decode_session::{DecodeSession, SeqId};
     pub use edgellm::kv_cache::KvCache;
     pub use edgellm::model::Model;
     pub use edgellm::tokenizer::Tokenizer;
@@ -41,6 +42,9 @@ pub mod prelude {
     pub use htpops::exp_lut::ExpMethod;
     pub use htpops::gemm::DequantVariant;
     pub use mathsynth::mathgen::{DatasetKind, TaskGenerator};
+    pub use npuscale::backend::{
+        all_backends, figure13_backends, npu_backend, Backend, FitReport, NpuSimBackend,
+    };
     pub use npuscale::pipeline::{measure_decode, measure_prefill};
     pub use npuscale::power::PowerModel;
     pub use ttscale::policy::CalibratedPolicy;

@@ -60,7 +60,8 @@ fn fig11_throughput_ordering() {
 
 #[test]
 fn fig13_crossover_gpu_vs_npu() {
-    let rows = experiments::fig13_decode_rows();
+    let backends = figure13_backends(&DeviceProfile::v75());
+    let rows = experiments::fig13_decode_rows(&backends);
     let get = |system: &str, batch: usize| {
         rows.iter()
             .find(|r| r.system == system && r.model == "Q1.5" && r.batch == batch)
@@ -72,7 +73,7 @@ fn fig13_crossover_gpu_vs_npu() {
     assert!(get("Ours", 16) > get("llama.cpp-OpenCL", 16) * 1.5);
 
     // Prefill: ours consistently above the GPU.
-    let prefill = experiments::fig13_prefill_rows();
+    let prefill = experiments::fig13_prefill_rows(&backends);
     for prompt in [512usize, 1024, 2048] {
         let ours = prefill
             .iter()
@@ -93,7 +94,7 @@ fn fig13_crossover_gpu_vs_npu() {
 
 #[test]
 fn fig16_dmabuf_constant_and_rss_mild() {
-    let rows = experiments::fig16_rows();
+    let rows = experiments::fig16_rows(&npu_backend(&DeviceProfile::v75()));
     let q15: Vec<_> = rows.iter().filter(|r| r.model == "Q1.5").collect();
     let dmabuf0 = q15[0].dmabuf_mib;
     for r in &q15 {
@@ -111,7 +112,7 @@ fn fig16_dmabuf_constant_and_rss_mild() {
 
 #[test]
 fn fig17_prompt_length_effect_is_mild() {
-    let rows = experiments::fig17_rows();
+    let rows = experiments::fig17_rows(&npu_backend(&DeviceProfile::v75()));
     for model in ["Q1.5", "Q3"] {
         for batch in [1usize, 8] {
             let get = |p: usize| {

@@ -137,3 +137,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs a full functional decode workload on the tiny model.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The continuous-batching `DecodeSession` never exceeds its
+    /// configured max batch, drains every admitted sequence to exactly
+    /// its token budget, and emits each sequence's tokens in order.
+    #[test]
+    fn decode_session_bounds_batch_and_preserves_order(
+        lengths8 in prop::collection::vec(1usize..10, 8),
+        count in 1usize..9,
+        max_batch in 1usize..5
+    ) {
+        use npuscale_repro::prelude::*;
+        use std::collections::HashMap;
+
+        let lengths = &lengths8[..count];
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 7).unwrap();
+        let prompt = Tokenizer::new().encode_with_bos("2*3=");
+        let max_len = lengths.iter().copied().max().unwrap();
+        let budget = max_batch * (prompt.len() + max_len + 2) + prompt.len();
+        let mut session =
+            DecodeSession::new(&mut ctx, &model, &prompt, max_batch, budget).unwrap();
+
+        for (i, &len) in lengths.iter().enumerate() {
+            let id = session.admit(60 + i as u32, len).unwrap();
+            prop_assert_eq!(id, i as SeqId);
+            prop_assert!(session.active_count() <= max_batch);
+        }
+
+        // Drain, recording every emitted token per sequence in step order
+        // and re-checking the batch bound after every step.
+        let mut emitted: HashMap<SeqId, Vec<u32>> = HashMap::new();
+        let mut counter = 0u32;
+        let mut guard = 0usize;
+        while session.active_count() > 0 {
+            let step = session
+                .step(&mut ctx, |_, _| {
+                    counter += 1;
+                    100 + (counter % 120)
+                })
+                .unwrap();
+            prop_assert!(!step.is_empty());
+            prop_assert!(session.active_count() <= max_batch);
+            for (id, t) in step {
+                emitted.entry(id).or_default().push(t);
+            }
+            guard += 1;
+            prop_assert!(guard <= lengths.iter().sum::<usize>() + 1, "failed to drain");
+        }
+
+        prop_assert_eq!(session.finished().len(), lengths.len());
+        prop_assert_eq!(
+            session.decoded_tokens(),
+            lengths.iter().map(|l| l - 1).sum::<usize>()
+        );
+        for f in session.finished() {
+            let len = lengths[f.id as usize];
+            prop_assert_eq!(f.tokens.len(), len);
+            // First token is the admission token; the rest must appear in
+            // exactly the order the steps emitted them.
+            prop_assert_eq!(f.tokens[0], 60 + f.id as u32);
+            let steps_for_seq = emitted.remove(&f.id).unwrap_or_default();
+            prop_assert_eq!(&f.tokens[1..], &steps_for_seq[..]);
+        }
+    }
+}
