@@ -1,6 +1,9 @@
 //! Extension bench: decode throughput across every execution backend,
 //! plus power and dmabuf footprint for the NPU runtime, on the three
-//! Snapdragon generations — Figures 11, 12 and 16 in one table.
+//! Snapdragon generations — Figures 11, 12 and 16 in one table. Models
+//! that exceed one 32-bit session (Qwen-3B on the 8 Gen 2, Qwen-7B
+//! everywhere) run the paper's Section 8 multi-session sharding and
+//! print their session count.
 
 use edgellm::config::ModelId;
 use hexsim::device::DeviceProfile;
@@ -19,23 +22,28 @@ fn main() {
             device.name, device.soc, device.arch
         );
         println!(
-            "{:<18} {:<8} {:>9} {:>9} {:>9} {:>9} {:>12}",
-            "system", "model", "b1 tok/s", "b8 tok/s", "b16 tok/s", "W @ b8", "dmabuf MiB"
+            "{:<18} {:<8} {:>9} {:>9} {:>9} {:>9} {:>12} {:>9}",
+            "system",
+            "model",
+            "b1 tok/s",
+            "b8 tok/s",
+            "b16 tok/s",
+            "W @ b8",
+            "dmabuf MiB",
+            "sessions"
         );
         let pm = PowerModel::new(device.clone());
         let backends = all_backends(&device);
-        for model in [ModelId::Llama1B, ModelId::Qwen1_5B, ModelId::Qwen3B] {
+        for model in [
+            ModelId::Llama1B,
+            ModelId::Qwen1_5B,
+            ModelId::Qwen3B,
+            ModelId::Qwen7B,
+        ] {
             for b in &backends {
-                let points = match decode_sweep(b.as_ref(), model, 1024, &[1, 8, 16]) {
-                    SweepOutcome::NeedsSharding(sessions) => {
-                        println!(
-                            "{:<18} {:<8} needs {} sessions (32-bit VA gate)",
-                            b.name(),
-                            model.label(),
-                            sessions
-                        );
-                        continue;
-                    }
+                let sweep = decode_sweep(b.as_ref(), model, 1024, &[1, 8, 16]);
+                let shard_tag = sweep.shard_tag();
+                let points = match sweep {
                     SweepOutcome::CannotRun(reason) => {
                         println!("{:<18} {:<8} cannot run: {reason}", b.name(), model.label());
                         continue;
@@ -58,15 +66,20 @@ fn main() {
                     }
                     _ => (format!("{:>9}", "-"), format!("{:>12}", "-")),
                 };
+                // Sharded rows (Section 8 multi-session) carry "xN"; a
+                // row whose larger batches need more sessions (KV
+                // growth) spans counts, e.g. "x3-4".
+                let shard = format!("{:>9}", shard_tag.unwrap_or_else(|| "1".to_string()));
                 println!(
-                    "{:<18} {:<8} {} {} {} {} {}",
+                    "{:<18} {:<8} {} {} {} {} {} {}",
                     b.name(),
                     model.label(),
                     tps(&points[0]),
                     tps(&points[1]),
                     tps(&points[2]),
                     power,
-                    dmabuf
+                    dmabuf,
+                    shard
                 );
             }
         }

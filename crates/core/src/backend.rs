@@ -9,12 +9,12 @@
 //! generators, the device-sweep example and the benches iterate one
 //! `&[Box<dyn Backend>]` instead of hard-coding each engine:
 //!
-//! - [`Backend::fits`] — capacity probe. For the simulated NPU this runs
-//!   the [`MultiSession`] VA-gate check and
-//!   *reports* how many 32-bit sessions the model would need instead of
-//!   erroring, so callers can distinguish "needs sharding" from "cannot
-//!   run at all". For QNN it rejects `batch > 1`: static graphs cannot
-//!   express the dynamic batch test-time scaling needs.
+//! - [`Backend::fits`] — capacity probe. For the simulated NPU this
+//!   builds the [`crate::session::ShardPlan`] VA placement and *reports*
+//!   how many 32-bit sessions the model needs instead of erroring, so
+//!   callers can distinguish "runs sharded" from "cannot run at all".
+//!   For QNN it rejects `batch > 1`: static graphs cannot express the
+//!   dynamic batch test-time scaling needs.
 //! - [`Backend::decode`] — one measured decode step at a batch and
 //!   context length, as a [`DecodePoint`].
 //! - [`Backend::prefill`] — a measured prompt prefill, as a
@@ -25,14 +25,45 @@
 //! rooflines from [`crate::baselines`]). Analytic backends report zero
 //! engine activity in their points; power/engine-utilization consumers
 //! treat such points as opaque throughput numbers.
+//!
+//! Deployments larger than one 32-bit session are not errors: the NPU
+//! backend builds a [`crate::session::ShardPlan`] and runs the paper's
+//! Section 8 multi-session sharding automatically.
+//!
+//! # Examples
+//!
+//! Probe and decode through the trait — including a model that only
+//! runs sharded on the Snapdragon 8 Gen 2:
+//!
+//! ```
+//! use edgellm::config::ModelId;
+//! use hexsim::prelude::*;
+//! use npuscale::backend::{Backend, NpuSimBackend};
+//!
+//! let v73 = NpuSimBackend::new(DeviceProfile::v73());
+//! // Qwen-3B exceeds one ~2 GiB session: fits reports the shard count...
+//! let fit = v73.fits(ModelId::Qwen3B, 1, 1024).unwrap();
+//! assert_eq!(fit.sessions, 2);
+//! // ...and decode executes that plan instead of erroring.
+//! let point = v73.decode(ModelId::Qwen3B, 1, 1024).unwrap();
+//! assert_eq!(point.sessions, 2);
+//! assert!(point.tokens_per_sec > 0.5);
+//!
+//! // Smaller models stay on the single-session path.
+//! let small = v73.decode(ModelId::Qwen1_5B, 1, 1024).unwrap();
+//! assert_eq!(small.sessions, 1);
+//! ```
 
 use edgellm::config::{ModelConfig, ModelId};
 use hexsim::cost::NUM_ENGINES;
 use hexsim::prelude::*;
 
 use crate::baselines::{CpuRefBackend, GpuBaseline, QnnFp16Baseline};
-use crate::pipeline::{measure_decode, measure_prefill, DecodePoint, PrefillPoint};
-use crate::session::MultiSession;
+use crate::pipeline::{
+    measure_decode, measure_decode_sharded, measure_prefill, measure_prefill_sharded, DecodePoint,
+    PrefillPoint,
+};
+use crate::session::ShardPlan;
 
 /// Result of a [`Backend::fits`] capacity probe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,6 +114,7 @@ fn analytic_decode_point(
         tokens_per_sec,
         cpu_share: 0.0,
         engine_secs: [0.0; NUM_ENGINES],
+        sessions: 1,
     }
 }
 
@@ -99,6 +131,7 @@ fn analytic_prefill_point(
         prompt_len,
         total_secs: prompt_len as f64 / tokens_per_sec,
         tokens_per_sec,
+        sessions: 1,
     }
 }
 
@@ -116,6 +149,21 @@ impl NpuSimBackend {
     pub fn new(device: DeviceProfile) -> Self {
         NpuSimBackend { device }
     }
+
+    /// Plans the deployment's session placement: contiguous layer shards
+    /// (each layer's weights plus its KV slice) across as many 32-bit
+    /// sessions as the device needs (1 for everything that fits — the
+    /// common case). This is the plan [`Backend::decode`] and
+    /// [`Backend::prefill`] execute.
+    pub fn shard_plan(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<ShardPlan> {
+        let cfg = ModelConfig::for_id(model);
+        ShardPlan::build(&cfg, self.device.session_va_bytes, batch, ctx_len)
+    }
+
+    fn prefill_plan(&self, model: ModelId, prompt_len: usize) -> SimResult<ShardPlan> {
+        let cfg = ModelConfig::for_id(model);
+        ShardPlan::build_with_kv_budget(&cfg, self.device.session_va_bytes, prompt_len + 2)
+    }
 }
 
 impl Backend for NpuSimBackend {
@@ -123,36 +171,40 @@ impl Backend for NpuSimBackend {
         "Ours"
     }
 
-    /// Maps the deployment into [`MultiSession`] at per-layer granularity
-    /// (one layer's weights never split across sessions, matching the
-    /// paper's Section 8 sharding sketch) plus the KV cache, and reports
-    /// the session count — the VA gate becomes a shard count instead of a
-    /// panic. Errors only when a single buffer exceeds one session.
+    /// Builds the [`ShardPlan`] — per-layer [`crate::session::MultiSession`]
+    /// placement of each layer's weights and KV slice (a layer never
+    /// splits across sessions, matching the paper's Section 8 sharding
+    /// sketch) — and reports its session count: the VA gate becomes a
+    /// shard count instead of a panic. Errors only when one layer cannot
+    /// map into a whole session.
     fn fits(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<FitReport> {
-        let cfg = ModelConfig::for_id(model);
-        let kv_budget = batch * (ctx_len + 2);
-        let mut ms = MultiSession::new(self.device.session_va_bytes);
-        let mut bytes = 0u64;
-        for _ in 0..cfg.layers {
-            let b = cfg.npu_layer_weight_bytes();
-            ms.map(b)?;
-            bytes += b;
-        }
-        let kv = cfg.kv_cache_bytes(kv_budget);
-        ms.map(kv)?;
-        bytes += kv;
+        let plan = self.shard_plan(model, batch, ctx_len)?;
         Ok(FitReport {
-            sessions: ms.sessions(),
-            bytes,
+            sessions: plan.sessions(),
+            bytes: plan.bytes,
         })
     }
 
+    /// Decodes through the shard plan automatically: single-session
+    /// deployments take the historical path bit-for-bit; larger ones run
+    /// the paper's Section 8 multi-session execution (e.g. Qwen-3B on the
+    /// 8 Gen 2 decodes across 2 sessions instead of erroring).
     fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
-        measure_decode(&self.device, model, batch, ctx_len)
+        let plan = self.shard_plan(model, batch, ctx_len)?;
+        if plan.sessions() > 1 {
+            measure_decode_sharded(&self.device, model, batch, ctx_len, &plan)
+        } else {
+            measure_decode(&self.device, model, batch, ctx_len)
+        }
     }
 
     fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
-        measure_prefill(&self.device, model, prompt_len)
+        let plan = self.prefill_plan(model, prompt_len)?;
+        if plan.sessions() > 1 {
+            measure_prefill_sharded(&self.device, model, prompt_len, &plan)
+        } else {
+            measure_prefill(&self.device, model, prompt_len)
+        }
     }
 }
 
@@ -286,21 +338,54 @@ pub fn npu_backend(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
 /// One backend's decode sweep over several batch sizes — the shared
 /// row logic of the device-sweep surfaces (example and bench).
 pub enum SweepOutcome {
-    /// The smallest batch runs. One entry per requested batch; `None`
-    /// where that batch cannot run (QNN past batch 1, KV pushing past the
-    /// VA limit).
+    /// The smallest batch runs (possibly across several NPU sessions —
+    /// multi-session sharded execution is a first-class outcome, not a
+    /// failure). One entry per requested batch; `None` where that batch
+    /// cannot run (QNN past batch 1, KV pushing past every session).
+    /// Each point carries its own [`DecodePoint::sessions`] — the count
+    /// can grow with batch as the KV cache grows.
     Ran(Vec<Option<DecodePoint>>),
-    /// The model only runs with the paper's Section 8 multi-session
-    /// sharding; carries the session count [`Backend::fits`] reported.
-    NeedsSharding(usize),
     /// The configuration cannot run at all; carries the decode error.
     CannotRun(String),
 }
 
+impl SweepOutcome {
+    /// Session counts across the measured points, deduplicated and
+    /// ascending — `[1]` for a single-session row, `[2]`/`[3]`/... for a
+    /// uniformly sharded one, several values when KV growth forces more
+    /// sessions at larger batches. Empty for [`SweepOutcome::CannotRun`].
+    pub fn session_counts(&self) -> Vec<usize> {
+        let SweepOutcome::Ran(points) = self else {
+            return Vec::new();
+        };
+        let mut counts: Vec<usize> = points.iter().flatten().map(|p| p.sessions).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+
+    /// Display tag for a sharded row — `"x2"`, or `"x3-4"` when KV
+    /// growth pushes larger batches into more sessions — shared by the
+    /// device-sweep surfaces. Only sharded points contribute (a row
+    /// whose small batches run single-session while batch 16 spills to
+    /// two sessions tags `"x2"`, not `"x1-2"`). `None` for rows with no
+    /// sharded point and for [`SweepOutcome::CannotRun`].
+    pub fn shard_tag(&self) -> Option<String> {
+        let sharded: Vec<String> = self
+            .session_counts()
+            .into_iter()
+            .filter(|&s| s > 1)
+            .map(|s| s.to_string())
+            .collect();
+        if sharded.is_empty() {
+            return None;
+        }
+        Some(format!("x{}", sharded.join("-")))
+    }
+}
+
 /// Probes `backend` at each batch in `batches` (each independently —
-/// KV growth can gate large batches even when batch 1 fits). When even
-/// the first batch fails, falls back to [`Backend::fits`] to distinguish
-/// "needs sharding" from "cannot run".
+/// KV growth can gate large batches even when batch 1 fits).
 pub fn decode_sweep(
     backend: &dyn Backend,
     model: ModelId,
@@ -310,10 +395,7 @@ pub fn decode_sweep(
     assert!(!batches.is_empty());
     let first = backend.decode(model, batches[0], ctx_len);
     if let Err(e) = &first {
-        return match backend.fits(model, batches[0], ctx_len) {
-            Ok(fit) if fit.sessions > 1 => SweepOutcome::NeedsSharding(fit.sessions),
-            _ => SweepOutcome::CannotRun(e.to_string()),
-        };
+        return SweepOutcome::CannotRun(e.to_string());
     }
     let mut points = vec![first.ok()];
     for &b in &batches[1..] {
@@ -491,29 +573,69 @@ mod tests {
     // -----------------------------------------------------------------
 
     #[test]
-    fn fits_reports_shard_count_instead_of_panicking() {
+    fn sharded_decode_replaces_the_va_gate() {
         // The Figure 11 gate: Qwen3B exceeds the 8G2's per-session VA
-        // space. decode() errors; fits() reports the sharding workaround.
+        // space. The raw single-session pipeline still errors, but the
+        // backend plans a 2-session shard and decodes through it.
         let v73 = NpuSimBackend::new(DeviceProfile::v73());
-        assert!(v73.decode(ModelId::Qwen3B, 1, 1024).is_err());
+        assert!(measure_decode(&DeviceProfile::v73(), ModelId::Qwen3B, 1, 1024).is_err());
         let fit = v73.fits(ModelId::Qwen3B, 1, 1024).unwrap();
-        assert!(fit.sessions > 1, "needs sharding: {fit:?}");
-        // On the paper's primary device one session suffices.
+        assert_eq!(fit.sessions, 2, "needs sharding: {fit:?}");
+        let point = v73.decode(ModelId::Qwen3B, 1, 1024).unwrap();
+        assert_eq!(point.sessions, 2);
+        assert!(point.tokens_per_sec > 0.5);
+        let prefill = v73.prefill(ModelId::Qwen3B, 512).unwrap();
+        assert_eq!(prefill.sessions, 2);
+        // On the paper's primary device one session suffices and the
+        // historical single-session path is taken bit-for-bit.
         let v75 = NpuSimBackend::new(DeviceProfile::v75());
         assert_eq!(v75.fits(ModelId::Qwen3B, 1, 1024).unwrap().sessions, 1);
+        assert_eq!(v75.decode(ModelId::Qwen3B, 1, 1024).unwrap().sessions, 1);
+    }
+
+    #[test]
+    fn qwen7b_runs_sharded_where_it_never_fit() {
+        // The 7B deployment needs 2 sessions even on the 4 GiB-VA devices
+        // and 3 on the 8 Gen 2 — previously unreachable configurations.
+        for (device, sessions) in [
+            (DeviceProfile::v73(), 3),
+            (DeviceProfile::v75(), 2),
+            (DeviceProfile::v79(), 2),
+        ] {
+            let b = NpuSimBackend::new(device.clone());
+            let fit = b.fits(ModelId::Qwen7B, 1, 1024).unwrap();
+            assert_eq!(
+                fit.sessions,
+                sessions,
+                "{}: {fit:?}",
+                device.arch.soc_label()
+            );
+            let p = b.decode(ModelId::Qwen7B, 1, 1024).unwrap();
+            assert_eq!(p.sessions, sessions);
+            assert!(
+                p.tokens_per_sec > 0.2,
+                "{}: 7B decode {}",
+                device.arch.soc_label(),
+                p.tokens_per_sec
+            );
+        }
     }
 
     #[test]
     fn decode_sweep_classifies_every_outcome() {
-        // NPU on 8G2 with Qwen3B: sharding required.
+        // NPU on 8G2 with Qwen3B: runs sharded across 2 sessions.
         let v73 = NpuSimBackend::new(DeviceProfile::v73());
-        assert!(matches!(
-            decode_sweep(&v73, ModelId::Qwen3B, 1024, &[1, 8]),
-            SweepOutcome::NeedsSharding(2)
-        ));
+        let sweep = decode_sweep(&v73, ModelId::Qwen3B, 1024, &[1, 8]);
+        assert_eq!(sweep.session_counts(), vec![2]);
+        match sweep {
+            SweepOutcome::Ran(points) => assert!(points.iter().all(|p| p.is_some())),
+            _ => panic!("Qwen3B must run sharded on 8G2"),
+        }
         // QNN runs batch 1 and dashes out the batched columns.
         let qnn = QnnFp16Baseline::default();
-        match decode_sweep(&qnn, ModelId::Qwen1_5B, 1024, &[1, 8, 16]) {
+        let sweep = decode_sweep(&qnn, ModelId::Qwen1_5B, 1024, &[1, 8, 16]);
+        assert_eq!(sweep.session_counts(), vec![1]);
+        match sweep {
             SweepOutcome::Ran(points) => {
                 assert!(points[0].is_some());
                 assert!(points[1].is_none() && points[2].is_none());
@@ -530,25 +652,102 @@ mod tests {
             SweepOutcome::Ran(points) => assert!(points.iter().all(|p| p.is_some())),
             _ => panic!("GPU must run"),
         }
+        // KV growth can raise the session count within one row: Qwen7B
+        // on 8G2 decodes x3 at small batches and x4 at batch 16.
+        let counts = decode_sweep(&v73, ModelId::Qwen7B, 1024, &[1, 8, 16]).session_counts();
+        assert_eq!(counts.first(), Some(&3));
+        assert!(counts.iter().all(|&c| c >= 3));
+    }
+
+    #[test]
+    fn shard_tag_reports_only_sharded_points() {
+        let point = |sessions: usize| {
+            Some(DecodePoint {
+                model: "Q3".to_string(),
+                device: "8G3".to_string(),
+                batch: 1,
+                ctx_len: 8192,
+                step_secs: 0.1,
+                tokens_per_sec: 10.0,
+                cpu_share: 0.2,
+                engine_secs: [0.0; NUM_ENGINES],
+                sessions,
+            })
+        };
+        // A row where batch 1 runs single-session but batch 16's KV
+        // spills to two sessions tags "x2" — not "x1-2".
+        let mixed = SweepOutcome::Ran(vec![point(1), point(2)]);
+        assert_eq!(mixed.session_counts(), vec![1, 2]);
+        assert_eq!(mixed.shard_tag(), Some("x2".to_string()));
+        // Fully sharded rows span their counts; unsharded rows tag None.
+        let grown = SweepOutcome::Ran(vec![point(3), point(4)]);
+        assert_eq!(grown.shard_tag(), Some("x3-4".to_string()));
+        let single = SweepOutcome::Ran(vec![point(1), None]);
+        assert_eq!(single.shard_tag(), None);
+        assert_eq!(
+            SweepOutcome::CannotRun("nope".to_string()).shard_tag(),
+            None
+        );
     }
 
     #[test]
     fn fits_agrees_with_decode_across_devices_and_models() {
+        // Since sharded execution landed, every deployment fits() accepts
+        // must actually decode, at exactly the planned session count.
         for device in DeviceProfile::all() {
             let b = NpuSimBackend::new(device.clone());
             for model in ModelId::on_device() {
                 let fit = b.fits(model, 1, 1024).unwrap();
-                let runs = b.decode(model, 1, 1024).is_ok();
+                let point = b.decode(model, 1, 1024).unwrap_or_else(|e| {
+                    panic!(
+                        "{}/{}: fits {:?} but decode failed: {e}",
+                        device.arch.soc_label(),
+                        model.label(),
+                        fit
+                    )
+                });
                 assert_eq!(
-                    fit.sessions == 1,
-                    runs,
-                    "{}/{}: fits {:?} vs decode ok={}",
+                    point.sessions,
+                    fit.sessions,
+                    "{}/{}",
                     device.arch.soc_label(),
-                    model.label(),
-                    fit,
-                    runs
+                    model.label()
                 );
             }
         }
+    }
+
+    #[test]
+    fn fits_agrees_with_decode_at_kv_heavy_configurations() {
+        // Large batch x context makes the per-layer KV slices rival the
+        // weights, which is exactly where a planner/heap placement
+        // divergence would make fits() accept what decode() rejects
+        // (weights allocate before KV, packing sessions differently from
+        // the plan's combined per-layer units). The heap's envelope
+        // semantics make allocation order irrelevant; this pins that.
+        let b = NpuSimBackend::new(DeviceProfile::v75());
+        for (model, batch, ctx_len) in [
+            (ModelId::Qwen1_5B, 32, 8192),
+            (ModelId::Qwen3B, 16, 8192),
+            (ModelId::Llama3B, 16, 8192),
+            (ModelId::Qwen1_5B, 16, 2048),
+        ] {
+            match b.fits(model, batch, ctx_len) {
+                Ok(fit) => {
+                    let point = b.decode(model, batch, ctx_len).unwrap_or_else(|e| {
+                        panic!(
+                            "{}@b{batch}/ctx{ctx_len}: fits {fit:?} but decode failed: {e}",
+                            model.label()
+                        )
+                    });
+                    assert_eq!(point.sessions, fit.sessions);
+                }
+                Err(_) => assert!(b.decode(model, batch, ctx_len).is_err()),
+            }
+        }
+        // The original repro: Qwen1.5B at batch 32 / ctx 8192 on the
+        // paper's primary device needs 2 sessions and must run there.
+        let fit = b.fits(ModelId::Qwen1_5B, 32, 8192).unwrap();
+        assert!(fit.sessions > 1, "{fit:?}");
     }
 }

@@ -8,11 +8,13 @@
 //!   `&[Box<dyn Backend>]` interface.
 //! - [`session`] — the FastRPC/rpcmem runtime protocol: shared-memory
 //!   command ring with explicit cache maintenance (one-way coherence), a
-//!   polling NPU dispatcher, and the multi-session extension the paper
-//!   sketches for the 32-bit VA limit. Re-exports the continuous-batching
-//!   [`session::DecodeSession`] decode API.
+//!   polling NPU dispatcher, and the paper's Section 8 multi-session
+//!   sharding: [`session::MultiSession`] VA placement lowered to an
+//!   executable [`session::ShardPlan`]. Re-exports the
+//!   continuous-batching [`session::DecodeSession`] decode API.
 //! - [`pipeline`] — decode/prefill measurement pipelines over the full
-//!   model forward (Figures 11, 13, 17).
+//!   model forward (Figures 11, 13, 17), including the sharded variants
+//!   that walk a [`session::ShardPlan`] across sessions.
 //! - [`power`] — activity-based power/energy accounting (Figure 12).
 //! - [`memory`] — dmabuf/CPU-RSS/CPU-utilization accounting (Figure 16).
 //! - [`baselines`] — analytic llama.cpp-OpenCL (Adreno GPU), QNN-FP16 and
@@ -36,4 +38,4 @@ pub mod session;
 pub use backend::{Backend, FitReport, NpuSimBackend};
 pub use pipeline::{DecodePoint, PrefillPoint};
 pub use power::PowerModel;
-pub use session::{DecodeSession, NpuSession, SessionConfig};
+pub use session::{DecodeSession, LayerShard, NpuSession, SessionConfig, ShardPlan};

@@ -7,14 +7,24 @@
 //! the measurement engine behind [`crate::backend::NpuSimBackend`]; the
 //! comparison exhibits reach them through the
 //! [`crate::backend::Backend`] trait.
+//!
+//! Deployments that exceed one session's 32-bit VA space run through the
+//! sharded variants ([`measure_decode_sharded`], [`measure_prefill_sharded`]):
+//! the context opens the [`crate::session::ShardPlan`]'s session count,
+//! and the model's layer walk charges a CPU-side session switch at every
+//! shard boundary (plus the wrap-around back to the first shard), so the
+//! Section 8 workaround shows up in the latency model rather than as an
+//! error.
 
 use edgellm::config::ModelId;
 use edgellm::kv_cache::KvCache;
-use edgellm::model::Model;
+use edgellm::model::{LayerSchedule, Model};
 use hexsim::cost::{Engine, NUM_ENGINES};
 use hexsim::prelude::*;
 use htpops::gemm::DequantVariant;
 use serde::{Deserialize, Serialize};
+
+use crate::session::ShardPlan;
 
 /// One decode measurement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -31,10 +41,17 @@ pub struct DecodePoint {
     pub step_secs: f64,
     /// Decode throughput in tokens/second (batch / step).
     pub tokens_per_sec: f64,
-    /// Fraction of the step spent in the CPU logits pass.
+    /// Fraction of the step spent on CPU-side work: the logits pass,
+    /// plus session switches when the deployment runs sharded (both are
+    /// CPU time the NPU waits on, and both appear in the CPU engine's
+    /// busy seconds).
     pub cpu_share: f64,
     /// Busy seconds per engine during the step.
     pub engine_secs: [f64; NUM_ENGINES],
+    /// NPU sessions the deployment ran across (1 = single session; > 1 =
+    /// the paper's Section 8 multi-session sharding, with session-switch
+    /// time included in `step_secs`). Analytic backends report 1.
+    pub sessions: usize,
 }
 
 /// One prefill measurement.
@@ -50,6 +67,9 @@ pub struct PrefillPoint {
     pub total_secs: f64,
     /// Prefill throughput in tokens/second.
     pub tokens_per_sec: f64,
+    /// NPU sessions the deployment ran across (see
+    /// [`DecodePoint::sessions`]).
+    pub sessions: usize,
 }
 
 impl DecodePoint {
@@ -66,15 +86,67 @@ impl DecodePoint {
 pub type PipelineResult<T> = SimResult<T>;
 
 /// Measures one decode step of `model_id` on `device` at the given batch
-/// and per-sequence context length.
+/// and per-sequence context length, in a single NPU session. Errors with
+/// [`SimError::VaSpaceExceeded`] when the deployment does not fit one
+/// session — use [`measure_decode_sharded`] with a
+/// [`crate::session::ShardPlan`] for those (or go through
+/// [`crate::backend::NpuSimBackend`], which plans automatically).
 pub fn measure_decode(
     device: &DeviceProfile,
     model_id: ModelId,
     batch: usize,
     ctx_len: usize,
 ) -> PipelineResult<DecodePoint> {
-    let mut ctx = NpuContext::new(device.clone(), ExecMode::CostOnly);
-    let model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    measure_decode_impl(
+        device,
+        model_id,
+        batch,
+        ctx_len,
+        1,
+        LayerSchedule::single_session(),
+    )
+}
+
+/// Measures one decode step across the sessions of a
+/// [`crate::session::ShardPlan`] — the paper's Section 8 multi-session
+/// execution. The context opens the plan's session count, the layer walk
+/// crosses each shard boundary in order, and every crossing (plus the
+/// wrap-around back to the first shard) charges the plan's session-switch
+/// cost into the step latency.
+///
+/// # Panics
+///
+/// Panics if `plan` was built for a different architecture than
+/// `model_id` (its shard boundaries must split `model_id`'s layer
+/// range).
+pub fn measure_decode_sharded(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    batch: usize,
+    ctx_len: usize,
+    plan: &ShardPlan,
+) -> PipelineResult<DecodePoint> {
+    measure_decode_impl(
+        device,
+        model_id,
+        batch,
+        ctx_len,
+        plan.sessions(),
+        plan.schedule(),
+    )
+}
+
+fn measure_decode_impl(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    batch: usize,
+    ctx_len: usize,
+    sessions: usize,
+    schedule: LayerSchedule,
+) -> PipelineResult<DecodePoint> {
+    let mut ctx = NpuContext::new_sharded(device.clone(), ExecMode::CostOnly, sessions);
+    let mut model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    model.set_layer_schedule(schedule);
     let budget = batch * (ctx_len + 2);
     let mut cache = KvCache::new(&mut ctx, &model.cfg, batch, budget)?;
     for s in 0..batch {
@@ -91,19 +163,63 @@ pub fn measure_decode(
         ctx_len,
         step_secs,
         tokens_per_sec: batch as f64 / step_secs,
-        cpu_share: out.cost.cpu_secs / step_secs,
+        cpu_share: (out.cost.cpu_secs + out.cost.switch_secs) / step_secs,
         engine_secs: delta.engine_secs,
+        sessions,
     })
 }
 
-/// Measures a full prefill of `prompt_len` tokens.
+/// Measures a full prefill of `prompt_len` tokens in a single NPU
+/// session (see [`measure_prefill_sharded`] for deployments that need
+/// the Section 8 workaround).
 pub fn measure_prefill(
     device: &DeviceProfile,
     model_id: ModelId,
     prompt_len: usize,
 ) -> PipelineResult<PrefillPoint> {
-    let mut ctx = NpuContext::new(device.clone(), ExecMode::CostOnly);
-    let model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    measure_prefill_impl(
+        device,
+        model_id,
+        prompt_len,
+        1,
+        LayerSchedule::single_session(),
+    )
+}
+
+/// Measures a full prefill across the sessions of a
+/// [`crate::session::ShardPlan`] (one sharded layer walk for the whole
+/// prompt — prefill amortizes the switches over every prompt token).
+///
+/// # Panics
+///
+/// Panics if `plan` was built for a different architecture than
+/// `model_id` (its shard boundaries must split `model_id`'s layer
+/// range).
+pub fn measure_prefill_sharded(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    prompt_len: usize,
+    plan: &ShardPlan,
+) -> PipelineResult<PrefillPoint> {
+    measure_prefill_impl(
+        device,
+        model_id,
+        prompt_len,
+        plan.sessions(),
+        plan.schedule(),
+    )
+}
+
+fn measure_prefill_impl(
+    device: &DeviceProfile,
+    model_id: ModelId,
+    prompt_len: usize,
+    sessions: usize,
+    schedule: LayerSchedule,
+) -> PipelineResult<PrefillPoint> {
+    let mut ctx = NpuContext::new_sharded(device.clone(), ExecMode::CostOnly, sessions);
+    let mut model = Model::new(&mut ctx, model_id, DequantVariant::CoalescedLut, 1)?;
+    model.set_layer_schedule(schedule);
     let mut cache = KvCache::new(&mut ctx, &model.cfg, 1, prompt_len + 2)?;
     let out = model.prefill(&mut ctx, &mut cache, 0, &vec![0u32; prompt_len])?;
     let total_secs = out.cost.wall_secs();
@@ -113,6 +229,7 @@ pub fn measure_prefill(
         prompt_len,
         total_secs,
         tokens_per_sec: prompt_len as f64 / total_secs,
+        sessions,
     })
 }
 
@@ -209,6 +326,48 @@ mod tests {
         // Paper: "relatively subtle" decline from 512 to 4096.
         assert!(drop > 0.01, "some decline expected, got {drop}");
         assert!(drop < 0.45, "decline should be mild, got {drop}");
+    }
+
+    #[test]
+    fn sharded_decode_costs_exactly_the_switch_overhead_more() {
+        // Force a model that fits one V75 session into two shards via an
+        // artificially small per-session VA, then compare against the
+        // single-session measurement on the same device: the step must
+        // cost exactly the plan's switch overhead more.
+        let d = DeviceProfile::v75();
+        let cfg = edgellm::config::ModelConfig::for_id(ModelId::Qwen1_5B);
+        let half = cfg.npu_weight_bytes() / 2 + cfg.npu_layer_weight_bytes();
+        let plan = ShardPlan::build(&cfg, half, 4, 1024).unwrap();
+        assert!(plan.is_sharded(), "plan must shard: {plan:?}");
+
+        let base = measure_decode(&d, ModelId::Qwen1_5B, 4, 1024).unwrap();
+        let sharded = measure_decode_sharded(&d, ModelId::Qwen1_5B, 4, 1024, &plan).unwrap();
+        assert_eq!(sharded.sessions, plan.sessions());
+        assert_eq!(base.sessions, 1);
+        let extra = sharded.step_secs - base.step_secs;
+        assert!(
+            (extra - plan.switch_overhead_secs()).abs() < 1e-12,
+            "extra {extra} vs planned {}",
+            plan.switch_overhead_secs()
+        );
+        // Throughput dips accordingly but stays in the same regime.
+        assert!(sharded.tokens_per_sec < base.tokens_per_sec);
+        assert!(sharded.tokens_per_sec > base.tokens_per_sec * 0.95);
+    }
+
+    #[test]
+    fn sharded_decode_unlocks_qwen3b_on_v73() {
+        // The headline scenario: Qwen-3B decoding on the Snapdragon 8
+        // Gen 2 through a 2-session plan (single-session errors above).
+        let d = DeviceProfile::v73();
+        let cfg = edgellm::config::ModelConfig::for_id(ModelId::Qwen3B);
+        let plan = ShardPlan::build(&cfg, d.session_va_bytes, 1, 1024).unwrap();
+        assert_eq!(plan.sessions(), 2);
+        let p = measure_decode_sharded(&d, ModelId::Qwen3B, 1, 1024, &plan).unwrap();
+        assert_eq!(p.sessions, 2);
+        assert!(p.tokens_per_sec > 0.5, "3B on 8G2: {}", p.tokens_per_sec);
+        let pf = measure_prefill_sharded(&d, ModelId::Qwen3B, 512, &plan).unwrap();
+        assert!(pf.tokens_per_sec > 50.0, "prefill {}", pf.tokens_per_sec);
     }
 
     #[test]

@@ -11,15 +11,49 @@
 //!
 //! `MultiSession` implements the paper's sketched workaround (Section 8)
 //! for the 32-bit per-session VA limit: weights spread across several
-//! sessions, each with its own VA budget. The
-//! [`crate::backend::Backend::fits`] probe maps deployments through it so
-//! the VA gate surfaces as a shard count rather than an error.
+//! sessions, each with its own VA budget. [`ShardPlan`] turns that
+//! allocator into an executable placement — contiguous layer ranges per
+//! session plus a KV-cache home — which [`crate::backend::Backend::fits`]
+//! reports as a shard count and [`crate::pipeline::measure_decode_sharded`]
+//! actually runs, charging [`SESSION_SWITCH_SECS`] at every shard
+//! boundary of the walk.
 //!
 //! On top of the command transport, this module re-exports the
 //! continuous-batching [`DecodeSession`] (implemented in
 //! `edgellm::decode_session`, where the model and KV cache live): the
 //! `admit`/`step`/`retire` decode API whose dynamic batches are the
 //! paper's argument for bypassing QNN's static graphs.
+//!
+//! # Examples
+//!
+//! Plan a deployment that exceeds one session and lower it to the layer
+//! walk the forward pass executes:
+//!
+//! ```
+//! use edgellm::config::{ModelConfig, ModelId};
+//! use hexsim::prelude::*;
+//! use npuscale::session::ShardPlan;
+//!
+//! // Qwen-7B (~4.6 GB of Q4/Q8 weights) on the paper's primary device:
+//! // two 4 GiB sessions.
+//! let cfg = ModelConfig::for_id(ModelId::Qwen7B);
+//! let va = DeviceProfile::v75().session_va_bytes;
+//! let plan = ShardPlan::build(&cfg, va, 1, 1024).unwrap();
+//! assert_eq!(plan.sessions(), 2);
+//!
+//! // The plan lowers to the schedule the model's layer walk consumes:
+//! // decode crosses one shard boundary and wraps back, paying two
+//! // session switches per step.
+//! let schedule = plan.schedule();
+//! assert_eq!(schedule.boundaries.len(), 1);
+//! assert_eq!(schedule.switches_per_pass(), 2);
+//! assert!(plan.switch_overhead_secs() < 100e-6);
+//!
+//! // Per-session byte totals respect the VA cap.
+//! for &bytes in &plan.session_bytes {
+//!     assert!(bytes <= va);
+//! }
+//! ```
 
 use hexsim::cost::Engine;
 use hexsim::prelude::*;
@@ -233,6 +267,158 @@ impl MultiSession {
     }
 }
 
+/// Default CPU-side cost of switching command dispatch between NPU
+/// sessions, in seconds: a FastRPC handle swap plus cache maintenance on
+/// the new session's command ring. A few of these per decode step is the
+/// price the paper's Section 8 workaround pays for breaking the 32-bit
+/// VA ceiling; it is small next to the ~1.4 ms of per-layer dispatch a
+/// 3B model already spends.
+pub const SESSION_SWITCH_SECS: f64 = 30e-6;
+
+/// One contiguous run of transformer layers resident in one NPU session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerShard {
+    /// Session index holding these layers' weights.
+    pub session: usize,
+    /// First layer of the run.
+    pub start: usize,
+    /// One past the last layer of the run.
+    pub end: usize,
+}
+
+impl LayerShard {
+    /// Number of layers in the shard.
+    pub fn layers(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Placement of a model across NPU session VA spaces — the paper's
+/// Section 8 workaround made concrete. Each layer's weights *and its KV
+/// slice* (the cache is one buffer per layer, `[layer][seq]` layout) are
+/// assigned to sessions together through [`MultiSession`] first-fit —
+/// whole layers only, one layer never splits across sessions — producing
+/// contiguous layer ranges per session. Colocating a layer's KV with its
+/// weights means every op of a layer dispatches in one session, so the
+/// only cross-session traffic is at shard boundaries, and `sessions() >
+/// 1` always comes with a non-empty boundary list. The plan both
+/// *proves* the deployment fits (construction fails with
+/// [`SimError::VaSpaceExceeded`] only when one layer's weights + KV
+/// exceed a whole session) and *drives* execution: it lowers to the
+/// [`edgellm::model::LayerSchedule`] the forward pass walks, charging
+/// [`ShardPlan::switch_secs`] at every shard boundary.
+///
+/// # Examples
+///
+/// Qwen-3B exceeds the Snapdragon 8 Gen 2's ~2 GiB session, so its 36
+/// layers split across two sessions:
+///
+/// ```
+/// use edgellm::config::{ModelConfig, ModelId};
+/// use hexsim::prelude::*;
+/// use npuscale::session::ShardPlan;
+///
+/// let cfg = ModelConfig::for_id(ModelId::Qwen3B);
+/// let va = DeviceProfile::v73().session_va_bytes;
+/// let plan = ShardPlan::build(&cfg, va, 1, 1024).unwrap();
+/// assert_eq!(plan.sessions(), 2);
+/// assert_eq!(plan.shards.len(), 2);
+/// assert_eq!(plan.shards[0].start, 0);
+/// assert_eq!(plan.shards[1].end, cfg.layers);
+/// // Two shards: one boundary switch + one wrap-around per decode step.
+/// assert_eq!(plan.schedule().switches_per_pass(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Contiguous layer ranges in execution order, one per shard (each
+    /// shard holds its layers' weights and KV slices).
+    pub shards: Vec<LayerShard>,
+    /// Total device-resident bytes the plan accounts (weights + KV).
+    pub bytes: u64,
+    /// Bytes mapped into each open session.
+    pub session_bytes: Vec<u64>,
+    /// CPU seconds charged per session switch during execution.
+    pub switch_secs: f64,
+}
+
+impl ShardPlan {
+    /// Plans a decode deployment: layer weights plus a KV cache sized for
+    /// `batch` sequences at `ctx_len` context (the same `batch * (ctx_len
+    /// + 2)` budget the measurement pipelines allocate).
+    pub fn build(
+        cfg: &edgellm::config::ModelConfig,
+        va_per_session: u64,
+        batch: usize,
+        ctx_len: usize,
+    ) -> SimResult<Self> {
+        Self::build_with_kv_budget(cfg, va_per_session, batch * (ctx_len + 2))
+    }
+
+    /// Plans a deployment at an explicit total KV token budget (prefill
+    /// sizes the cache by prompt length instead of batch x context).
+    pub fn build_with_kv_budget(
+        cfg: &edgellm::config::ModelConfig,
+        va_per_session: u64,
+        kv_budget: usize,
+    ) -> SimResult<Self> {
+        let mut ms = MultiSession::new(va_per_session);
+        // A layer travels as one unit: its weights plus its slice of the
+        // per-layer KV cache, so attention never reaches across sessions.
+        let layer_bytes = cfg.npu_layer_weight_bytes() + cfg.kv_cache_layer_bytes(kv_budget);
+        let mut shards: Vec<LayerShard> = Vec::new();
+        let mut bytes = 0u64;
+        for layer in 0..cfg.layers {
+            let session = ms.map(layer_bytes)?;
+            bytes += layer_bytes;
+            match shards.last_mut() {
+                Some(shard) if shard.session == session => shard.end = layer + 1,
+                _ => shards.push(LayerShard {
+                    session,
+                    start: layer,
+                    end: layer + 1,
+                }),
+            }
+        }
+        Ok(ShardPlan {
+            shards,
+            bytes,
+            session_bytes: ms.mapped.clone(),
+            switch_secs: SESSION_SWITCH_SECS,
+        })
+    }
+
+    /// Number of NPU sessions the deployment opens.
+    pub fn sessions(&self) -> usize {
+        self.session_bytes.len()
+    }
+
+    /// Whether execution crosses session boundaries.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Layer indices at which a new session's weights begin (the first
+    /// shard at layer 0 is implicit), ascending.
+    pub fn boundaries(&self) -> Vec<usize> {
+        self.shards.iter().skip(1).map(|s| s.start).collect()
+    }
+
+    /// Lowers the placement to the execution schedule the model's layer
+    /// walk consumes.
+    pub fn schedule(&self) -> edgellm::model::LayerSchedule {
+        edgellm::model::LayerSchedule {
+            boundaries: self.boundaries(),
+            switch_secs: self.switch_secs,
+        }
+    }
+
+    /// Total session-switch seconds one full layer walk (one decode step
+    /// or one prefill pass) pays under this plan.
+    pub fn switch_overhead_secs(&self) -> f64 {
+        self.schedule().switches_per_pass() as f64 * self.switch_secs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +480,65 @@ mod tests {
         let mut s = NpuSession::open(SessionConfig::default());
         s.submit(&mut c, OpCode::Nop, 0, true).unwrap();
         assert!(c.cost.engine_secs(Engine::Cpu) >= 10e-6);
+    }
+
+    fn plan(id: edgellm::config::ModelId, device: &DeviceProfile) -> ShardPlan {
+        let cfg = edgellm::config::ModelConfig::for_id(id);
+        ShardPlan::build(&cfg, device.session_va_bytes, 1, 1024).unwrap()
+    }
+
+    #[test]
+    fn qwen3b_plan_on_8g2_uses_two_contiguous_shards() {
+        use edgellm::config::{ModelConfig, ModelId};
+        let cfg = ModelConfig::for_id(ModelId::Qwen3B);
+        let p = plan(ModelId::Qwen3B, &DeviceProfile::v73());
+        assert_eq!(p.sessions(), 2);
+        assert_eq!(p.shards.len(), 2);
+        // Shards tile the layer range contiguously and in order.
+        assert_eq!(p.shards[0].start, 0);
+        assert_eq!(p.shards[0].end, p.shards[1].start);
+        assert_eq!(p.shards[1].end, cfg.layers);
+        assert_eq!(p.boundaries(), vec![p.shards[1].start]);
+        // Per-session bytes respect the VA cap.
+        for &b in &p.session_bytes {
+            assert!(b <= DeviceProfile::v73().session_va_bytes);
+        }
+        // Total bytes account every layer plus the KV cache.
+        let expected = cfg.npu_weight_bytes() + cfg.kv_cache_bytes(1026);
+        assert_eq!(p.bytes, expected);
+        assert!((p.switch_overhead_secs() - 2.0 * SESSION_SWITCH_SECS).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_models_plan_single_session() {
+        use edgellm::config::ModelId;
+        let p = plan(ModelId::Qwen1_5B, &DeviceProfile::v75());
+        assert_eq!(p.sessions(), 1);
+        assert!(!p.is_sharded());
+        assert!(p.boundaries().is_empty());
+        assert_eq!(p.schedule().switches_per_pass(), 0);
+        assert_eq!(p.switch_overhead_secs(), 0.0);
+    }
+
+    #[test]
+    fn qwen7b_plans_sharded_everywhere() {
+        use edgellm::config::ModelId;
+        // ~4.6 GB of weights: two sessions on the 4 GiB-VA devices, three
+        // on the 8 Gen 2 — the deployment the single-session repo could
+        // never express.
+        assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v75()).sessions(), 2);
+        assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v79()).sessions(), 2);
+        assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v73()).sessions(), 3);
+    }
+
+    #[test]
+    fn plan_fails_only_when_a_single_buffer_cannot_map() {
+        use edgellm::config::{ModelConfig, ModelId};
+        let cfg = ModelConfig::for_id(ModelId::Qwen3B);
+        // A "session" smaller than one layer's weights cannot hold any
+        // placement at all.
+        let err = ShardPlan::build(&cfg, cfg.npu_layer_weight_bytes() - 1, 1, 1024).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
     }
 
     #[test]

@@ -51,10 +51,24 @@ pub struct NpuContext {
 }
 
 impl NpuContext {
-    /// Creates a context for a device in the given mode.
+    /// Creates a context for a device in the given mode, with a single
+    /// NPU session's virtual address space.
     pub fn new(device: DeviceProfile, mode: ExecMode) -> Self {
+        Self::new_sharded(device, mode, 1)
+    }
+
+    /// Creates a context backed by up to `max_sessions` NPU sessions, each
+    /// with its own `session_va_bytes` of virtual address space — the
+    /// paper's Section 8 workaround for models whose weights exceed one
+    /// 32-bit session. The DDR heap enforces the sessions' aggregate VA
+    /// envelope (no buffer larger than one session, no total beyond
+    /// `max_sessions` sessions); bin-level placement belongs to the shard
+    /// planner upstairs. Everything else (TCM, datapaths, cost model) is
+    /// shared, because the Hexagon hardware behind every session is the
+    /// same physical NPU.
+    pub fn new_sharded(device: DeviceProfile, mode: ExecMode, max_sessions: usize) -> Self {
         let tcm = vec![0u8; device.tcm_bytes as usize];
-        let ddr = DdrHeap::new(device.session_va_bytes);
+        let ddr = DdrHeap::with_sessions(device.session_va_bytes, max_sessions);
         let cost = CostModel::new(device.clone());
         NpuContext {
             device,
@@ -149,9 +163,16 @@ impl NpuContext {
         self.ddr.free(buf);
     }
 
-    /// Bytes currently mapped into the session VA space.
+    /// Bytes currently mapped across all session VA spaces.
     pub fn ddr_mapped_bytes(&self) -> u64 {
         self.ddr.mapped_bytes
+    }
+
+    /// Number of NPU sessions currently open (1 unless the context was
+    /// created with [`NpuContext::new_sharded`] and an allocation spilled
+    /// past the first session's VA space).
+    pub fn ddr_sessions(&self) -> usize {
+        self.ddr.sessions()
     }
 
     /// Host-side write into DDR (no NPU cost; the host produced the data).
@@ -782,6 +803,20 @@ mod tests {
         // these mappings exceed the 2 GiB session space.
         c.ddr_alloc(1_700_000_000).unwrap();
         let err = c.ddr_alloc(1_000_000_000).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+    }
+
+    #[test]
+    fn sharded_context_spills_into_a_second_session() {
+        // The same pair of mappings that overflows one V73 session maps
+        // fine on a two-session context (paper Section 8).
+        let mut c = NpuContext::new_sharded(DeviceProfile::v73(), ExecMode::CostOnly, 2);
+        c.ddr_alloc(1_700_000_000).unwrap();
+        assert_eq!(c.ddr_sessions(), 1);
+        c.ddr_alloc(1_000_000_000).unwrap();
+        assert_eq!(c.ddr_sessions(), 2);
+        // The cap still holds: a third large mapping has nowhere to go.
+        let err = c.ddr_alloc(1_500_000_000).unwrap_err();
         assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
     }
 

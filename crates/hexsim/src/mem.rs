@@ -30,6 +30,8 @@ pub struct DdrBuffer(pub u64);
 
 pub(crate) struct DdrBufferState {
     pub size: u64,
+    /// Session VA space this allocation is mapped into.
+    pub session: usize,
     /// Backing bytes; `None` in cost-only mode (shape-level simulation).
     pub data: Option<Vec<u8>>,
 }
@@ -39,46 +41,117 @@ pub(crate) struct DdrBufferState {
 /// The VA limit models the 32-bit address space of a single NPU session: on
 /// Snapdragon 8 Gen 2 only ~2 GiB is usable, which is exactly why the paper
 /// cannot run 3B-parameter models there (Section 7.2.1, Figure 11).
+///
+/// A heap created with [`DdrHeap::with_sessions`] models the paper's
+/// Section 8 workaround instead: up to `max_sessions` independent VA
+/// spaces, each `va_per_session` bytes. The heap enforces the *envelope*
+/// those sessions provide — no single buffer may exceed one session, and
+/// the total mapped bytes may not exceed `max_sessions *
+/// va_per_session` — while bin-level placement is the shard planner's
+/// job (a loader maps buffers where the plan says, not in allocation
+/// order, and any plan-feasible placement refines to the heap's finer
+/// per-buffer granularity). Session labels are assigned first-fit for
+/// introspection ([`DdrHeap::sessions`]), falling back to the
+/// least-used session rather than failing, precisely because allocation
+/// order is not placement.
 pub(crate) struct DdrHeap {
     buffers: HashMap<u64, DdrBufferState>,
     next_id: u64,
     pub mapped_bytes: u64,
-    pub va_capacity: u64,
+    /// VA capacity of each session (32-bit space minus reserved regions).
+    pub va_per_session: u64,
+    /// Maximum number of sessions this heap may open.
+    pub max_sessions: usize,
+    /// Bytes mapped into each currently open session.
+    session_used: Vec<u64>,
 }
 
 impl DdrHeap {
-    pub fn new(va_capacity: u64) -> Self {
+    pub fn with_sessions(va_per_session: u64, max_sessions: usize) -> Self {
+        assert!(max_sessions >= 1, "a heap needs at least one session");
         DdrHeap {
             buffers: HashMap::new(),
             next_id: 1,
             mapped_bytes: 0,
-            va_capacity,
+            va_per_session,
+            max_sessions,
+            session_used: vec![0],
         }
     }
 
-    pub fn alloc(&mut self, size: u64, materialize: bool) -> SimResult<DdrBuffer> {
-        if self.mapped_bytes + size > self.va_capacity {
+    /// Number of sessions currently open (>= 1).
+    pub fn sessions(&self) -> usize {
+        self.session_used.len()
+    }
+
+    /// Checks the session envelope and picks a session label for a new
+    /// allocation: first-fit over open sessions, opening a new one while
+    /// allowed, else the least-used session (see the type-level docs for
+    /// why running out of first-fit room is not a failure).
+    fn place(&mut self, size: u64) -> SimResult<usize> {
+        if size > self.va_per_session {
+            // A single buffer larger than one session can never map.
             return Err(SimError::VaSpaceExceeded {
-                capacity: self.va_capacity,
+                capacity: self.va_per_session,
                 mapped: self.mapped_bytes,
                 requested: size,
             });
         }
+        let total_capacity = self.va_per_session * self.max_sessions as u64;
+        if self.mapped_bytes + size > total_capacity {
+            return Err(SimError::VaSpaceExceeded {
+                capacity: total_capacity,
+                mapped: self.mapped_bytes,
+                requested: size,
+            });
+        }
+        if let Some(s) = self
+            .session_used
+            .iter()
+            .position(|&used| used + size <= self.va_per_session)
+        {
+            return Ok(s);
+        }
+        if self.session_used.len() < self.max_sessions {
+            self.session_used.push(0);
+            return Ok(self.session_used.len() - 1);
+        }
+        let least = self
+            .session_used
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &used)| used)
+            .map(|(i, _)| i)
+            .expect("at least one session is always open");
+        Ok(least)
+    }
+
+    pub fn alloc(&mut self, size: u64, materialize: bool) -> SimResult<DdrBuffer> {
+        let session = self.place(size)?;
         let id = self.next_id;
         self.next_id += 1;
         self.mapped_bytes += size;
+        self.session_used[session] += size;
         let data = if materialize {
             Some(vec![0u8; size as usize])
         } else {
             None
         };
-        self.buffers.insert(id, DdrBufferState { size, data });
+        self.buffers.insert(
+            id,
+            DdrBufferState {
+                size,
+                session,
+                data,
+            },
+        );
         Ok(DdrBuffer(id))
     }
 
     pub fn free(&mut self, buf: DdrBuffer) {
         if let Some(state) = self.buffers.remove(&buf.0) {
             self.mapped_bytes -= state.size;
+            self.session_used[state.session] -= state.size;
         }
     }
 
@@ -101,7 +174,7 @@ mod tests {
 
     #[test]
     fn va_space_is_enforced() {
-        let mut heap = DdrHeap::new(1000);
+        let mut heap = DdrHeap::with_sessions(1000, 1);
         let a = heap.alloc(600, false).unwrap();
         let err = heap.alloc(600, false).unwrap_err();
         assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
@@ -111,7 +184,7 @@ mod tests {
 
     #[test]
     fn free_returns_va_space() {
-        let mut heap = DdrHeap::new(100);
+        let mut heap = DdrHeap::with_sessions(100, 1);
         let a = heap.alloc(100, false).unwrap();
         assert_eq!(heap.mapped_bytes, 100);
         heap.free(a);
@@ -120,7 +193,7 @@ mod tests {
 
     #[test]
     fn materialized_buffers_are_zeroed() {
-        let mut heap = DdrHeap::new(1 << 20);
+        let mut heap = DdrHeap::with_sessions(1 << 20, 1);
         let a = heap.alloc(64, true).unwrap();
         let state = heap.get(a);
         assert_eq!(state.data.as_ref().unwrap().len(), 64);
@@ -129,7 +202,7 @@ mod tests {
 
     #[test]
     fn cost_only_buffers_have_no_backing() {
-        let mut heap = DdrHeap::new(1 << 40);
+        let mut heap = DdrHeap::with_sessions(1 << 40, 1);
         let a = heap.alloc(1 << 35, false).unwrap(); // 32 GiB, shape only.
         assert!(heap.get(a).data.is_none());
         assert_eq!(heap.get(a).size, 1 << 35);
@@ -138,5 +211,63 @@ mod tests {
     #[test]
     fn tcm_addr_offset() {
         assert_eq!(TcmAddr(128).offset(64), TcmAddr(192));
+    }
+
+    #[test]
+    fn multi_session_heap_opens_sessions_first_fit() {
+        // Three 600-byte buffers over 1000-byte sessions: two sessions,
+        // with the third buffer backfilling nothing (first-fit).
+        let mut heap = DdrHeap::with_sessions(1000, 3);
+        heap.alloc(600, false).unwrap();
+        assert_eq!(heap.sessions(), 1);
+        heap.alloc(600, false).unwrap();
+        assert_eq!(heap.sessions(), 2);
+        // 300 bytes first-fits back into session 0's slack.
+        let small = heap.alloc(300, false).unwrap();
+        assert_eq!(heap.sessions(), 2);
+        assert_eq!(heap.get(small).session, 0);
+    }
+
+    #[test]
+    fn multi_session_heap_enforces_session_cap() {
+        let mut heap = DdrHeap::with_sessions(1000, 2);
+        heap.alloc(900, false).unwrap();
+        heap.alloc(900, false).unwrap();
+        let err = heap.alloc(900, false).unwrap_err();
+        assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+        // A single buffer larger than one session can never map.
+        assert!(heap.alloc(1001, false).is_err());
+    }
+
+    #[test]
+    fn envelope_is_order_insensitive() {
+        // 800 + 800 + 400 over two 1000-byte sessions: a strict first-fit
+        // bin packer would reject the 400 (each session has 200 slack),
+        // but real placement follows the shard plan, not allocation
+        // order — the heap only enforces the 2000-byte envelope.
+        let mut heap = DdrHeap::with_sessions(1000, 2);
+        heap.alloc(800, false).unwrap();
+        heap.alloc(800, false).unwrap();
+        heap.alloc(400, false).unwrap();
+        assert_eq!(heap.mapped_bytes, 2000);
+        // The envelope itself is still binding.
+        assert!(matches!(
+            heap.alloc(1, false).unwrap_err(),
+            SimError::VaSpaceExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_session_free_returns_space_to_owning_session() {
+        let mut heap = DdrHeap::with_sessions(1000, 2);
+        let a = heap.alloc(900, false).unwrap();
+        let b = heap.alloc(900, false).unwrap();
+        assert_eq!(heap.get(a).session, 0);
+        assert_eq!(heap.get(b).session, 1);
+        heap.free(a);
+        // Session 0 has room again; a new buffer lands there.
+        let c = heap.alloc(800, false).unwrap();
+        assert_eq!(heap.get(c).session, 0);
+        assert_eq!(heap.mapped_bytes, 1700);
     }
 }

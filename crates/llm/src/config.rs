@@ -211,10 +211,18 @@ impl ModelConfig {
         self.npu_weight_bytes() as f64 / 4.5 * 8.0
     }
 
+    /// KV cache bytes of *one layer* for a total context budget of
+    /// `budget` tokens (FP16 K and V rows). The cache is allocated one
+    /// buffer per layer, which is what lets multi-session sharding
+    /// colocate each layer's KV slice with that layer's weights.
+    pub fn kv_cache_layer_bytes(&self, budget: usize) -> u64 {
+        (2 * self.kv_dim() * budget * 2) as u64
+    }
+
     /// KV cache bytes for a total context budget of `budget` tokens
-    /// (FP16 K and V across layers).
+    /// (FP16 K and V across all layers).
     pub fn kv_cache_bytes(&self, budget: usize) -> u64 {
-        (2 * self.layers * self.kv_dim() * budget * 2) as u64
+        self.layers as u64 * self.kv_cache_layer_bytes(budget)
     }
 
     /// CPU-resident bytes: the lm_head/embedding matrix (kept on the CPU

@@ -16,7 +16,56 @@
 //! The session runs in both execution modes: functional (tiny models,
 //! real logits flow to the sampling callback) and cost-only (paper-scale
 //! models, the callback sees an empty logits row and only the simulated
-//! step costs accumulate).
+//! step costs accumulate). It drives [`Model::decode_step_for`], so a
+//! model carrying a sharded
+//! [`LayerSchedule`](crate::model::LayerSchedule) decodes across NPU
+//! sessions transparently.
+//!
+//! # Examples
+//!
+//! Admit three samples over a shared prompt into two KV slots, retire
+//! one early, and drain — the freed slot is taken by the queued sample
+//! within the same step:
+//!
+//! ```
+//! use edgellm::config::ModelId;
+//! use edgellm::decode_session::DecodeSession;
+//! use edgellm::model::Model;
+//! use hexsim::prelude::*;
+//! use htpops::gemm::DequantVariant;
+//!
+//! let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+//! let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 7).unwrap();
+//! let prompt = [2u32, 10, 11];
+//! let mut session = DecodeSession::new(&mut ctx, &model, &prompt, 2, 64).unwrap();
+//!
+//! // Three sequences over two slots: the third queues.
+//! let a = session.admit(40, 4).unwrap();
+//! let _b = session.admit(41, 3).unwrap();
+//! let _c = session.admit(42, 2).unwrap();
+//! assert_eq!(session.active_count(), 2);
+//! assert_eq!(session.queued_count(), 1);
+//!
+//! // Retire `a` early (as an EOS would); the queued sample activates.
+//! session.retire(a).unwrap();
+//! assert_eq!(session.queued_count(), 0);
+//!
+//! // Step until everything drains, sampling greedily from real logits.
+//! while session.active_count() > 0 {
+//!     session
+//!         .step(&mut ctx, |_, logits| {
+//!             logits
+//!                 .iter()
+//!                 .enumerate()
+//!                 .max_by(|x, y| x.1.total_cmp(y.1))
+//!                 .map(|(i, _)| i as u32)
+//!                 .unwrap()
+//!         })
+//!         .unwrap();
+//! }
+//! let finished = session.into_finished(&mut ctx);
+//! assert_eq!(finished.len(), 3);
+//! ```
 
 use std::collections::VecDeque;
 
@@ -95,7 +144,7 @@ impl<'m> DecodeSession<'m> {
             Err(e) => {
                 // Return the already-mapped KV allocation on failure so
                 // repeated failed opens cannot exhaust the session VA.
-                ctx.ddr_free(cache.buf);
+                cache.free(ctx);
                 return Err(e);
             }
         };
@@ -260,7 +309,7 @@ impl<'m> DecodeSession<'m> {
     /// and returning its KV allocation to the context (so repeated runs
     /// on one context do not exhaust the session VA space).
     pub fn into_finished(mut self, ctx: &mut NpuContext) -> Vec<FinishedSeq> {
-        ctx.ddr_free(self.cache.buf);
+        self.cache.free(ctx);
         self.finished.sort_by_key(|f| f.id);
         self.finished
     }
@@ -298,7 +347,7 @@ impl<'m> DecodeSession<'m> {
 
     /// Releases the session's KV allocation back to the context.
     pub fn release(self, ctx: &mut NpuContext) {
-        ctx.ddr_free(self.cache.buf);
+        self.cache.free(ctx);
     }
 
     fn free_slot(&self) -> Option<usize> {

@@ -45,22 +45,38 @@ pub struct KvCache {
     v: Vec<Vec<Vec<F16>>>,
     /// Tokens stored per sequence.
     len: Vec<usize>,
-    /// DDR residency handle (shape accounting; freed with the context).
-    pub buf: DdrBuffer,
+    /// Per-layer DDR residency handles (shape accounting; one buffer per
+    /// layer so multi-session sharding can place each layer's KV slice in
+    /// the session holding that layer's weights). Release with
+    /// [`KvCache::free`].
+    bufs: Vec<DdrBuffer>,
 }
 
 impl KvCache {
     /// Allocates a cache for `batch` sequences with a *total* token budget
     /// shared across the batch (prompt + completions), reserving the DDR
-    /// footprint immediately.
+    /// footprint immediately — one buffer per layer.
     pub fn new(
         ctx: &mut NpuContext,
         cfg: &ModelConfig,
         batch: usize,
         budget: usize,
     ) -> SimResult<Self> {
-        let bytes = cfg.kv_cache_bytes(budget);
-        let buf = ctx.ddr_alloc(bytes)?;
+        let layer_bytes = cfg.kv_cache_layer_bytes(budget);
+        let mut bufs = Vec::with_capacity(cfg.layers);
+        for _ in 0..cfg.layers {
+            match ctx.ddr_alloc(layer_bytes) {
+                Ok(buf) => bufs.push(buf),
+                Err(e) => {
+                    // Unwind the partial reservation so a failed open
+                    // cannot leak session VA space.
+                    for buf in bufs {
+                        ctx.ddr_free(buf);
+                    }
+                    return Err(e);
+                }
+            }
+        }
         let functional = ctx.mode == ExecMode::Functional;
         let (k, v) = if functional {
             let mk = || {
@@ -81,8 +97,18 @@ impl KvCache {
             k,
             v,
             len: vec![0; batch],
-            buf,
+            bufs,
         })
+    }
+
+    /// Returns the cache's DDR reservation (every per-layer buffer) to
+    /// the context. The simulated DDR mapping is owned by the context,
+    /// not dropped with the cache, so abandoning a cache without calling
+    /// this leaks session VA space.
+    pub fn free(&self, ctx: &mut NpuContext) {
+        for &buf in &self.bufs {
+            ctx.ddr_free(buf);
+        }
     }
 
     /// Number of sequences.

@@ -38,5 +38,5 @@ pub mod weights;
 pub use config::{ModelConfig, ModelId};
 pub use decode_session::{DecodeSession, FinishedSeq, SeqId};
 pub use kv_cache::{KvCache, KvSeqSnapshot};
-pub use model::{DecodeOutput, Model, StepCost};
+pub use model::{DecodeOutput, LayerSchedule, Model, StepCost};
 pub use tokenizer::Tokenizer;

@@ -34,6 +34,9 @@ pub struct StepCost {
     pub misc_secs: f64,
     /// CPU work: embedding, lm_head, sampling, seconds.
     pub cpu_secs: f64,
+    /// CPU-side NPU session switches (multi-session sharded execution,
+    /// paper Section 8); zero for single-session deployments.
+    pub switch_secs: f64,
 }
 
 impl StepCost {
@@ -43,9 +46,11 @@ impl StepCost {
     }
 
     /// Total wall seconds. The CPU logits pass serializes with the NPU
-    /// (sampling feeds the next step), matching the paper's observation.
+    /// (sampling feeds the next step), matching the paper's observation;
+    /// session switches serialize too (the CPU re-points dispatch before
+    /// the next shard's layers can run).
     pub fn wall_secs(&self) -> f64 {
-        self.npu_secs() + self.cpu_secs
+        self.npu_secs() + self.cpu_secs + self.switch_secs
     }
 
     /// Accumulates another step's cost.
@@ -54,6 +59,48 @@ impl StepCost {
         self.attn_secs += other.attn_secs;
         self.misc_secs += other.misc_secs;
         self.cpu_secs += other.cpu_secs;
+        self.switch_secs += other.switch_secs;
+    }
+}
+
+/// How a forward pass walks layers across NPU sessions — the execution
+/// half of a shard plan (the placement half, `npuscale::session::ShardPlan`,
+/// lowers to this; it lives upstairs because placement needs the
+/// `MultiSession` allocator, while the walk only needs layer indices).
+///
+/// With an empty boundary list the schedule is a no-op and the forward
+/// pass is bit- and cost-identical to the historical single-session path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LayerSchedule {
+    /// Ascending layer indices at which the weights live in a *new* NPU
+    /// session (the first shard starting at layer 0 is implicit). Empty
+    /// means everything fits one session.
+    pub boundaries: Vec<usize>,
+    /// CPU seconds to re-point command dispatch at another session's ring
+    /// (FastRPC handle swap + cache maintenance on the new ring).
+    pub switch_secs: f64,
+}
+
+impl LayerSchedule {
+    /// Schedule for a single-session deployment (no switches).
+    pub fn single_session() -> Self {
+        LayerSchedule::default()
+    }
+
+    /// Whether this schedule crosses any session boundary.
+    pub fn is_sharded(&self) -> bool {
+        !self.boundaries.is_empty()
+    }
+
+    /// Session switches charged per full layer walk: one at each shard
+    /// boundary plus one to return dispatch to the first shard for the
+    /// next pass.
+    pub fn switches_per_pass(&self) -> usize {
+        if self.boundaries.is_empty() {
+            0
+        } else {
+            self.boundaries.len() + 1
+        }
     }
 }
 
@@ -85,6 +132,10 @@ pub struct Model {
     /// the paper's Figure 11 absolute throughput (the paper notes decode
     /// is constrained by per-step overheads beyond raw kernel time).
     pub op_dispatch_secs: f64,
+    /// Session walk schedule for multi-session sharded weights (paper
+    /// Section 8). Defaults to single-session (no switches); set via
+    /// [`Model::set_layer_schedule`].
+    schedule: LayerSchedule,
 }
 
 impl Model {
@@ -105,7 +156,78 @@ impl Model {
             exp_method: ExpMethod::Lut16,
             threads: 6,
             op_dispatch_secs: 100e-6,
+            schedule: LayerSchedule::single_session(),
         })
+    }
+
+    /// Installs the session walk schedule for sharded execution. Every
+    /// subsequent forward pass walks the layer shards in order and charges
+    /// a CPU-side session switch at each boundary (plus one wrap-around
+    /// switch back to the first shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not strictly ascending layer indices
+    /// in `1..layers`.
+    pub fn set_layer_schedule(&mut self, schedule: LayerSchedule) {
+        assert!(
+            schedule.boundaries.windows(2).all(|w| w[0] < w[1]),
+            "shard boundaries must be strictly ascending"
+        );
+        if let (Some(&first), Some(&last)) =
+            (schedule.boundaries.first(), schedule.boundaries.last())
+        {
+            assert!(
+                first >= 1 && last < self.cfg.layers,
+                "shard boundaries must split the layer range"
+            );
+        }
+        self.schedule = schedule;
+    }
+
+    /// The installed session walk schedule.
+    pub fn layer_schedule(&self) -> &LayerSchedule {
+        &self.schedule
+    }
+
+    /// Charges one CPU-side session switch (sharded execution only):
+    /// dispatch re-points at another session's command ring, which the
+    /// NPU cannot overlap with because the next shard's first kernel
+    /// waits on it.
+    fn charge_session_switch(&self, ctx: &mut NpuContext, cost: &mut StepCost) {
+        ctx.cost.charge_secs(Engine::Cpu, self.schedule.switch_secs);
+        cost.switch_secs += self.schedule.switch_secs;
+    }
+
+    /// Walks every layer in shard order, charging a session switch at
+    /// each shard boundary and one wrap-around switch at the end of a
+    /// sharded walk. With a single-session schedule this is exactly the
+    /// historical `0..layers` loop.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_layers(
+        &self,
+        ctx: &mut NpuContext,
+        x: &mut [F16],
+        rows: usize,
+        cache: &mut KvCache,
+        seqs: &[usize],
+        positions: &[usize],
+        prefill: bool,
+        cost: &mut StepCost,
+    ) -> SimResult<()> {
+        let mut next_boundary = self.schedule.boundaries.iter().peekable();
+        for layer in 0..self.cfg.layers {
+            if next_boundary.peek() == Some(&&layer) {
+                next_boundary.next();
+                self.charge_session_switch(ctx, cost);
+            }
+            self.layer_forward(ctx, layer, x, rows, cache, seqs, positions, prefill, cost)?;
+        }
+        if self.schedule.is_sharded() {
+            // Return dispatch to the first shard for the next pass.
+            self.charge_session_switch(ctx, cost);
+        }
+        Ok(())
     }
 
     fn gemm(
@@ -486,19 +608,16 @@ impl Model {
         };
         cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
-        for layer in 0..self.cfg.layers {
-            self.layer_forward(
-                ctx,
-                layer,
-                &mut x,
-                rows,
-                cache,
-                &[seq],
-                &[start_pos],
-                true,
-                &mut cost,
-            )?;
-        }
+        self.walk_layers(
+            ctx,
+            &mut x,
+            rows,
+            cache,
+            &[seq],
+            &[start_pos],
+            true,
+            &mut cost,
+        )?;
 
         // Final norm + logits: last position only for generation, every
         // position for speculative verification.
@@ -593,11 +712,9 @@ impl Model {
         };
         cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
-        for layer in 0..self.cfg.layers {
-            self.layer_forward(
-                ctx, layer, &mut x, batch, cache, seqs, &positions, false, &mut cost,
-            )?;
-        }
+        self.walk_layers(
+            ctx, &mut x, batch, cache, seqs, &positions, false, &mut cost,
+        )?;
 
         let snap = ctx.cost.snapshot();
         let final_norm = self.weights.final_norm.clone();
@@ -689,7 +806,7 @@ mod tests {
             let out = model
                 .decode_step(&mut ctx, &mut cache, &vec![0u32; batch])
                 .unwrap();
-            ctx.ddr_free(cache.buf);
+            cache.free(&mut ctx);
             out.cost.wall_secs()
         };
         let t1 = wall(1);
@@ -720,7 +837,7 @@ mod tests {
             let out = model
                 .decode_step(&mut ctx, &mut cache, &vec![0u32; batch])
                 .unwrap();
-            ctx.ddr_free(cache.buf);
+            cache.free(&mut ctx);
             out.cost.cpu_secs / out.cost.wall_secs()
         };
         let s1 = share(1);
@@ -745,6 +862,56 @@ mod tests {
             prefill_tps > 8.0 * decode_tps,
             "prefill {prefill_tps} tok/s vs decode {decode_tps} tok/s"
         );
+    }
+
+    #[test]
+    fn sharded_walk_is_bit_identical_and_charges_switches() {
+        // Golden parity: a 2-shard schedule must not perturb the forward
+        // pass — only add the session-switch time.
+        let (mut ctx, model, mut cache) = functional_setup();
+        let tok = Tokenizer::new();
+        let tokens = tok.encode_with_bos("7*8=");
+        let base_prefill = model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
+        cache.broadcast_prompt(true);
+        let base_step = model
+            .decode_step(&mut ctx, &mut cache, &[100, 101, 102, 103])
+            .unwrap();
+
+        let mut ctx2 = NpuContext::new_sharded(DeviceProfile::v75(), ExecMode::Functional, 2);
+        let mut sharded =
+            Model::new(&mut ctx2, ModelId::Tiny, DequantVariant::CoalescedLut, 42).unwrap();
+        sharded.set_layer_schedule(LayerSchedule {
+            boundaries: vec![1],
+            switch_secs: 30e-6,
+        });
+        let mut cache2 = KvCache::new(&mut ctx2, &sharded.cfg, 4, 256).unwrap();
+        let shard_prefill = sharded.prefill(&mut ctx2, &mut cache2, 0, &tokens).unwrap();
+        cache2.broadcast_prompt(true);
+        let shard_step = sharded
+            .decode_step(&mut ctx2, &mut cache2, &[100, 101, 102, 103])
+            .unwrap();
+
+        assert_eq!(base_prefill.logits, shard_prefill.logits);
+        assert_eq!(base_step.logits, shard_step.logits);
+        // Two shards -> one boundary + one wrap-around per walk.
+        let per_walk = 2.0 * 30e-6;
+        assert!((shard_prefill.cost.switch_secs - per_walk).abs() < 1e-12);
+        assert!((shard_step.cost.switch_secs - per_walk).abs() < 1e-12);
+        assert!(base_step.cost.switch_secs == 0.0);
+        assert!(
+            (shard_step.cost.wall_secs() - base_step.cost.wall_secs() - per_walk).abs() < 1e-9,
+            "sharded walk must cost exactly the switch overhead more"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_schedule_is_rejected() {
+        let (_ctx, mut model, _cache) = functional_setup();
+        model.set_layer_schedule(LayerSchedule {
+            boundaries: vec![1, 1],
+            switch_secs: 0.0,
+        });
     }
 
     #[test]

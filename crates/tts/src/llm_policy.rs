@@ -328,7 +328,7 @@ pub fn llm_bon_fixed_batch(
                 }
             }
         }
-        ctx.ddr_free(cache.buf);
+        cache.free(ctx);
         completions.extend(generated[..wave.len()].iter().map(|g| tok.decode(g)));
     }
     Ok(BatchedBonReport {

@@ -190,7 +190,7 @@ pub fn speculative_generate(
             // append-only cache, not of the algorithm; real KV caches
             // truncate in O(1). Do not double-charge it.
             let _ = re;
-            ctx.ddr_free(cache.buf);
+            cache.free(ctx);
             cache = rebuilt;
         }
     }

@@ -36,7 +36,7 @@ pub mod prelude {
     pub use edgellm::config::{ModelConfig, ModelId};
     pub use edgellm::decode_session::{DecodeSession, SeqId};
     pub use edgellm::kv_cache::KvCache;
-    pub use edgellm::model::Model;
+    pub use edgellm::model::{LayerSchedule, Model};
     pub use edgellm::tokenizer::Tokenizer;
     pub use hexsim::prelude::*;
     pub use htpops::exp_lut::ExpMethod;
@@ -45,8 +45,11 @@ pub mod prelude {
     pub use npuscale::backend::{
         all_backends, figure13_backends, npu_backend, Backend, FitReport, NpuSimBackend,
     };
-    pub use npuscale::pipeline::{measure_decode, measure_prefill};
+    pub use npuscale::pipeline::{
+        measure_decode, measure_decode_sharded, measure_prefill, measure_prefill_sharded,
+    };
     pub use npuscale::power::PowerModel;
+    pub use npuscale::session::{LayerShard, MultiSession, ShardPlan};
     pub use ttscale::policy::CalibratedPolicy;
     pub use ttscale::verifier::{SimOrm, SimPrm};
 }
