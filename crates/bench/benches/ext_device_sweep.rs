@@ -7,7 +7,7 @@
 
 use edgellm::config::ModelId;
 use hexsim::device::DeviceProfile;
-use npuscale::backend::{all_backends, decode_sweep, SweepOutcome};
+use npuscale::backend::{all_backends, decode_sweep, Backend, NpuSimBackend, SweepOutcome};
 use npuscale::memory::measure_overhead;
 use npuscale::power::PowerModel;
 
@@ -33,7 +33,9 @@ fn main() {
             "sessions"
         );
         let pm = PowerModel::new(device.clone());
-        let backends = all_backends(&device);
+        let mut backends = all_backends(&device);
+        // The Section 7.2.2 overlap-aware runtime rides the same sweep.
+        backends.push(Box::new(NpuSimBackend::overlapped(device.clone())) as Box<dyn Backend>);
         for model in [
             ModelId::Llama1B,
             ModelId::Qwen1_5B,

@@ -1,15 +1,17 @@
 //! Figure 13: throughput comparison with the GPU and QNN baselines,
-//! driven through the `Backend` trait.
+//! driven through the `Backend` trait. The "Ours (async)" series adds the
+//! Section 7.2.2 overlap-aware dispatch on top of the paper's legend.
 
 use hexsim::device::DeviceProfile;
-use npuscale::backend::figure13_backends;
+use npuscale::backend::{figure13_backends, Backend, NpuSimBackend};
 
 fn main() {
     benchutil::banner(
         "Figure 13 - inference throughput vs llama.cpp-OpenCL and QNN FP16",
         "paper Fig 13: GPU wins batch-1 decode; ours wins batched decode + prefill",
     );
-    let backends = figure13_backends(&DeviceProfile::v75());
+    let mut backends = figure13_backends(&DeviceProfile::v75());
+    backends.push(Box::new(NpuSimBackend::overlapped(DeviceProfile::v75())) as Box<dyn Backend>);
     println!("--- decode (tok/s) ---");
     let rows = npuscale::experiments::fig13_decode_rows(&backends);
     println!(

@@ -1,15 +1,18 @@
 //! Figure 16: CPU/memory overhead during decode (our runtime's operator
-//! placement, measured through the `Backend` trait).
+//! placement, measured through the `Backend` trait) — serial and
+//! overlap-aware async dispatch side by side (the async rows show higher
+//! CPU utilization because the same CPU busy time packs into a shorter
+//! step).
 
 use hexsim::device::DeviceProfile;
-use npuscale::backend::npu_backend;
+use npuscale::backend::npu_backends_both;
 
 fn main() {
     benchutil::banner(
         "Figure 16 - CPU memory and utilization during decode",
         "paper Fig 16 + Sec 7.5: RSS ~250-300 MiB; dmabuf 1056/2090 MiB; CPU 320-340%",
     );
-    let backends = npu_backend(&DeviceProfile::v75());
+    let backends = npu_backends_both(&DeviceProfile::v75());
     println!(
         "{:<8} {:<6} {:>6} {:>12} {:>12} {:>10}",
         "system", "model", "batch", "CPU RSS", "dmabuf", "CPU util"

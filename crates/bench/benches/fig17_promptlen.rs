@@ -1,15 +1,16 @@
 //! Figure 17: impact of prompt length on decoding throughput, driven
-//! through the `Backend` trait.
+//! through the `Backend` trait — serial and overlap-aware async dispatch
+//! side by side.
 
 use hexsim::device::DeviceProfile;
-use npuscale::backend::npu_backend;
+use npuscale::backend::npu_backends_both;
 
 fn main() {
     benchutil::banner(
         "Figure 17 - decode throughput vs prompt length",
         "paper Fig 17: mild decline from 512 to 4096 tokens",
     );
-    let backends = npu_backend(&DeviceProfile::v75());
+    let backends = npu_backends_both(&DeviceProfile::v75());
     println!(
         "{:<8} {:<6} {:>8} {:>6} {:>10}",
         "system", "model", "prompt", "batch", "tok/s"

@@ -27,6 +27,33 @@ fn bench_f16_conversion(c: &mut Criterion) {
             acc
         })
     });
+    // The chunked SIMD-friendly slice converters (bit-identical results,
+    // pinned by hexsim's exhaustive tests) against the scalar loops above
+    // — the hot path of the CPU lm_head and embedding staging.
+    let mut half = vec![F16::ZERO; 4096];
+    group.bench_function("from_f32_slice_4096", |b| {
+        b.iter(|| {
+            F16::from_f32_slice(std::hint::black_box(&values), &mut half);
+            half[0].0
+        })
+    });
+    F16::from_f32_slice(&values, &mut half);
+    group.bench_function("to_f32_scalar_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &h in &half {
+                acc += std::hint::black_box(h).to_f32();
+            }
+            acc
+        })
+    });
+    let mut floats = vec![0.0f32; 4096];
+    group.bench_function("to_f32_slice_4096", |b| {
+        b.iter(|| {
+            F16::to_f32_slice(std::hint::black_box(&half), &mut floats);
+            floats[0]
+        })
+    });
     group.finish();
 }
 

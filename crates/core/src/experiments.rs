@@ -655,6 +655,74 @@ pub fn fig16_rows(backends: &[Box<dyn Backend>]) -> Vec<OverheadPoint> {
 }
 
 // ---------------------------------------------------------------------
+// Overlap extension — serial vs. async-dispatch decode (Section 7.2.2).
+// ---------------------------------------------------------------------
+
+/// One serial-vs-overlapped decode comparison point (the rows behind the
+/// `BENCH_decode.json` artifact).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeOverlapRow {
+    /// Device SoC label.
+    pub device: String,
+    /// Model label.
+    pub model: String,
+    /// Decode batch size.
+    pub batch: usize,
+    /// Context length per sequence.
+    pub ctx_len: usize,
+    /// Decode throughput with serial dispatch, tokens/second.
+    pub serial_tps: f64,
+    /// Decode throughput with overlap-aware async dispatch, tokens/second.
+    pub overlapped_tps: f64,
+    /// `overlapped_tps / serial_tps` (>= 1 by construction: the critical
+    /// path never exceeds the serial stage sum).
+    pub speedup: f64,
+    /// NPU sessions the deployment ran across (> 1 = Section 8 sharding,
+    /// whose switches the overlapped schedule hides behind tail kernels).
+    pub sessions: usize,
+}
+
+/// Measures serial vs. overlap-aware decode across the three Snapdragon
+/// generations: Qwen2.5-1.5B at batches 1/8/16 everywhere, plus the
+/// sharded Qwen-7B deployment (where the session switches are on the
+/// line). CI regenerates these rows each push and fails if any overlapped
+/// point regresses above its serial baseline.
+pub fn decode_overlap_rows() -> Vec<DecodeOverlapRow> {
+    let mut out = Vec::new();
+    for device in DeviceProfile::all() {
+        let serial = crate::backend::NpuSimBackend::new(device.clone());
+        let overlapped = crate::backend::NpuSimBackend::overlapped(device.clone());
+        let mut push = |model: ModelId, batch: usize, ctx_len: usize| {
+            // Two independent measurements on purpose: one Overlapped run's
+            // StepCost carries both views, but the regression gate is only
+            // meaningful when serial goes through its own full pipeline —
+            // comparing a number against itself would always pass.
+            let (Ok(s), Ok(o)) = (
+                serial.decode(model, batch, ctx_len),
+                overlapped.decode(model, batch, ctx_len),
+            ) else {
+                return;
+            };
+            out.push(DecodeOverlapRow {
+                device: device.arch.soc_label().to_string(),
+                model: model.label().to_string(),
+                batch,
+                ctx_len,
+                serial_tps: s.tokens_per_sec,
+                overlapped_tps: o.tokens_per_sec,
+                speedup: o.tokens_per_sec / s.tokens_per_sec,
+                sessions: o.sessions,
+            });
+        };
+        for batch in [1usize, 8, 16] {
+            push(ModelId::Qwen1_5B, batch, 1024);
+        }
+        push(ModelId::Qwen7B, 8, 1024);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Figure 17 — prompt length sensitivity.
 // ---------------------------------------------------------------------
 

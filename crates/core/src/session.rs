@@ -119,6 +119,22 @@ pub struct SessionConfig {
     pub submit_latency: f64,
     /// Completion-notification latency, seconds.
     pub complete_latency: f64,
+    /// Double-buffered dispatch: when the CPU submitted the next request
+    /// while the current one executed (the request was already queued
+    /// when the previous dispatch finished), the NPU-side poller's
+    /// completion overhead hides behind that execution and is not charged
+    /// — the paper's Section 7.2.2 async-dispatch direction. Off by
+    /// default so every historical number reproduces.
+    ///
+    /// This is the *transport-level* knob on the explicit command ring;
+    /// the measurement pipelines model the same depth-2 ring analytically
+    /// at step level (`edgellm::overlap` schedules each layer's
+    /// `dispatch_secs` one layer ahead of its compute), because the
+    /// forward pass does not yet drive `NpuSession` per op. Unifying the
+    /// two so transport and cost model share one code path is a roadmap
+    /// item; until then this knob affects `NpuSession` charges only, not
+    /// the "Ours (async)" figures.
+    pub double_buffered: bool,
 }
 
 impl Default for SessionConfig {
@@ -127,6 +143,7 @@ impl Default for SessionConfig {
             strict_coherence: true,
             submit_latency: 10e-6,
             complete_latency: 8e-6,
+            double_buffered: false,
         }
     }
 }
@@ -138,6 +155,10 @@ pub struct NpuSession {
     next_seq: u32,
     head: u32,
     tail: u32,
+    /// Whether the next request to dispatch was already in the ring when
+    /// the previous dispatch finished (its descriptor prefetched into the
+    /// second buffer, so a double-buffered poller picks it up for free).
+    primed: bool,
     /// Completed requests, in order.
     pub completed: Vec<Request>,
 }
@@ -154,6 +175,7 @@ impl NpuSession {
             next_seq: 1,
             head: 0,
             tail: 0,
+            primed: false,
             completed: Vec::new(),
         }
     }
@@ -215,8 +237,15 @@ impl NpuSession {
         // Completion: NPU writes are CPU-visible without maintenance.
         let tail = self.tail;
         self.ring.npu_write(4, &tail.to_le_bytes());
-        ctx.cost
-            .charge_secs(Engine::Scalar, self.cfg.complete_latency);
+        // A double-buffered ring hides the poller's completion overhead
+        // for requests that were already queued while the previous one
+        // executed (the CPU submitted layer N+1 during layer N); only the
+        // pipeline-fill dispatch pays it.
+        if !(self.cfg.double_buffered && self.primed) {
+            ctx.cost
+                .charge_secs(Engine::Scalar, self.cfg.complete_latency);
+        }
+        self.primed = head != self.tail;
         self.completed.push(req);
         Ok(Some(req))
     }
@@ -472,6 +501,61 @@ mod tests {
         }
         let err = s.submit(&mut c, OpCode::Nop, 99, true).unwrap_err();
         assert!(matches!(err, SimError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn double_buffered_ring_hides_back_to_back_completion_overhead() {
+        let cfg = SessionConfig {
+            double_buffered: true,
+            ..SessionConfig::default()
+        };
+        // A burst of 8 requests submitted ahead (layer N+1 queued while N
+        // executes): only the pipeline-fill dispatch pays the poller's
+        // completion overhead.
+        let mut c = ctx();
+        let mut s = NpuSession::open(cfg);
+        for i in 0..8 {
+            s.submit(&mut c, OpCode::MatMul, i, true).unwrap();
+        }
+        let before = c.cost.engine_secs(Engine::Scalar);
+        for _ in 0..8 {
+            s.poll_dispatch(&mut c).unwrap().unwrap();
+        }
+        let charged = c.cost.engine_secs(Engine::Scalar) - before;
+        assert!(
+            (charged - cfg.complete_latency).abs() < 1e-15,
+            "burst of 8 must pay one completion: {charged}"
+        );
+
+        // Strictly alternating submit/poll gives the poller nothing to
+        // prefetch — no lookahead, no overlap, full serial charges.
+        let mut c2 = ctx();
+        let mut s2 = NpuSession::open(cfg);
+        let before = c2.cost.engine_secs(Engine::Scalar);
+        for i in 0..8 {
+            s2.submit(&mut c2, OpCode::MatMul, i, true).unwrap();
+            s2.poll_dispatch(&mut c2).unwrap().unwrap();
+        }
+        let charged = c2.cost.engine_secs(Engine::Scalar) - before;
+        assert!((charged - 8.0 * cfg.complete_latency).abs() < 1e-15);
+    }
+
+    #[test]
+    fn serial_ring_charges_are_unchanged_by_default() {
+        // The knob off reproduces the historical accounting exactly,
+        // even for a submitted-ahead burst.
+        let mut c = ctx();
+        let mut s = NpuSession::open(SessionConfig::default());
+        for i in 0..8 {
+            s.submit(&mut c, OpCode::MatMul, i, true).unwrap();
+        }
+        let before = c.cost.engine_secs(Engine::Scalar);
+        for _ in 0..8 {
+            s.poll_dispatch(&mut c).unwrap().unwrap();
+        }
+        let charged = c.cost.engine_secs(Engine::Scalar) - before;
+        let expect = 8.0 * SessionConfig::default().complete_latency;
+        assert!((charged - expect).abs() < 1e-15);
     }
 
     #[test]

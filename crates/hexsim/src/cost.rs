@@ -43,8 +43,10 @@ impl Engine {
         Engine::Cpu,
     ];
 
+    /// Stable array index of the engine (the position in [`Engine::ALL`]
+    /// and in every `[f64; NUM_ENGINES]` engine-seconds array).
     #[inline]
-    pub(crate) fn idx(self) -> usize {
+    pub const fn index(self) -> usize {
         match self {
             Engine::Scalar => 0,
             Engine::Hvx => 1,
@@ -53,6 +55,11 @@ impl Engine {
             Engine::L2fetch => 4,
             Engine::Cpu => 5,
         }
+    }
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.index()
     }
 
     /// Short lowercase label for reports.

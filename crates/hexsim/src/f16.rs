@@ -284,6 +284,141 @@ impl F16 {
     }
 }
 
+// ---------------------------------------------------------------------
+// Chunked slice conversions.
+//
+// The scalar `from_f32`/`to_f32` above are the readable reference; the
+// functions below are the hot-loop versions. They process fixed-size
+// chunks with branch-reduced integer/float arithmetic so LLVM can
+// auto-vectorize the inner loops (the crate denies `unsafe`, so explicit
+// intrinsics are off the table), and they are pinned bit-identical to the
+// scalar paths by exhaustive tests. `kernel_microbench` tracks the
+// speedup; the CPU-side lm_head and embedding paths in `edgellm` are the
+// main consumers.
+// ---------------------------------------------------------------------
+
+/// Elements per inner chunk of the slice converters (two HVX-width rows;
+/// also a comfortable width for NEON/AVX2 autovectorization).
+const CONVERT_CHUNK: usize = 16;
+
+/// Branch-reduced f32 -> binary16 conversion on raw bits, RTNE. Exactly
+/// matches [`F16::from_f32`] for every input (including NaN payloads
+/// canonicalizing to the quiet NaN with the input sign).
+#[inline(always)]
+fn f32_bits_to_f16_bits(x: u32) -> u16 {
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let a = x & 0x7fff_ffff;
+    if a >= 0x3880_0000 {
+        // Normal f16 range, overflow, infinity or NaN.
+        if a >= 0x4780_0000 {
+            // >= 2^16: overflow to infinity; NaN canonicalizes to 0x7e00.
+            return if a > 0x7f80_0000 {
+                sign | 0x7e00
+            } else {
+                sign | EXP_MASK
+            };
+        }
+        // Rebias the exponent by -112 and round to nearest-even on the 13
+        // discarded mantissa bits: adding 0xFFF plus the ties-to-even bit
+        // carries into the mantissa (and, on overflow, the exponent)
+        // exactly when RTNE rounds up.
+        let mant_odd = (a >> 13) & 1;
+        let b = a.wrapping_add(0xC800_0FFF).wrapping_add(mant_odd);
+        sign | ((b >> 13) as u16)
+    } else {
+        // Subnormal or zero result.
+        if a < 0x3280_0000 {
+            // Below 2^-26: underflows to signed zero even after rounding
+            // (f32 subnormal inputs land here too).
+            return sign;
+        }
+        let shift = 126 - (a >> 23);
+        let sig = (a & 0x007f_ffff) | 0x0080_0000;
+        let shifted = sig >> shift;
+        let rem = sig & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round = (rem > half || (rem == half && (shifted & 1) == 1)) as u32;
+        sign | ((shifted + round) as u16)
+    }
+}
+
+/// Branch-reduced binary16 -> f32 conversion on raw bits. Exactly matches
+/// [`F16::to_f32`] for every one of the 65536 bit patterns.
+#[inline(always)]
+fn f16_bits_to_f32(h: u16) -> f32 {
+    if (h & EXP_MASK) == EXP_MASK {
+        // Infinity / NaN: take the readable path (rare and the float
+        // trick below cannot produce the infinite exponent).
+        return F16(h).to_f32();
+    }
+    // Place the f16 exponent/mantissa in the f32 fields and rescale by
+    // 2^112 (= 2^(127-15)); the multiply is exact for both normals and
+    // subnormals (a power-of-two scale only shifts the exponent, and every
+    // subnormal f16 value is a normal f32 after scaling).
+    let sign = ((h & SIGN_MASK) as u32) << 16;
+    let magnitude = f32::from_bits(((h & 0x7fff) as u32) << 13) * f32::from_bits(0x7780_0000);
+    f32::from_bits(magnitude.to_bits() | sign)
+}
+
+impl F16 {
+    /// Converts `src` into `dst` with round-to-nearest-even, bit-identical
+    /// to elementwise [`F16::from_f32`] but in chunked, SIMD-friendly
+    /// inner loops (the host-side hot path for embeddings and activation
+    /// staging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_f32_slice(src: &[f32], dst: &mut [F16]) {
+        assert_eq!(src.len(), dst.len(), "slice lengths must match");
+        let mut s = src.chunks_exact(CONVERT_CHUNK);
+        let mut d = dst.chunks_exact_mut(CONVERT_CHUNK);
+        for (cs, cd) in (&mut s).zip(&mut d) {
+            for i in 0..CONVERT_CHUNK {
+                cd[i] = F16(f32_bits_to_f16_bits(cs[i].to_bits()));
+            }
+        }
+        for (v, o) in s.remainder().iter().zip(d.into_remainder()) {
+            *o = F16(f32_bits_to_f16_bits(v.to_bits()));
+        }
+    }
+
+    /// Converts `src` into `dst` exactly, bit-identical to elementwise
+    /// [`F16::to_f32`] but in chunked, SIMD-friendly inner loops (the
+    /// host-side hot path for the CPU lm_head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn to_f32_slice(src: &[F16], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice lengths must match");
+        let mut s = src.chunks_exact(CONVERT_CHUNK);
+        let mut d = dst.chunks_exact_mut(CONVERT_CHUNK);
+        for (cs, cd) in (&mut s).zip(&mut d) {
+            for i in 0..CONVERT_CHUNK {
+                cd[i] = f16_bits_to_f32(cs[i].0);
+            }
+        }
+        for (v, o) in s.remainder().iter().zip(d.into_remainder()) {
+            *o = f16_bits_to_f32(v.0);
+        }
+    }
+
+    /// Allocating convenience over [`F16::from_f32_slice`].
+    pub fn vec_from_f32(src: &[f32]) -> Vec<F16> {
+        let mut out = vec![F16::ZERO; src.len()];
+        F16::from_f32_slice(src, &mut out);
+        out
+    }
+
+    /// Allocating convenience over [`F16::to_f32_slice`].
+    pub fn vec_to_f32(src: &[F16]) -> Vec<f32> {
+        let mut out = vec![0.0f32; src.len()];
+        F16::to_f32_slice(src, &mut out);
+        out
+    }
+}
+
 impl fmt::Debug for F16 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "F16({} /*0x{:04x}*/)", self.to_f32(), self.0)
@@ -443,6 +578,86 @@ mod tests {
         let mut buf = [0u8; 2];
         f16_to_le_bytes(v, &mut buf);
         assert_eq!(f16_from_le_bytes(&buf), v);
+    }
+
+    #[test]
+    fn to_f32_slice_matches_scalar_for_all_bit_patterns() {
+        // The chunked converter must be bit-identical to the readable
+        // scalar path for every one of the 65536 binary16 patterns
+        // (including NaN payloads, which callers may bit-compare).
+        let src: Vec<F16> = (0..=u16::MAX).map(F16).collect();
+        let batch = F16::vec_to_f32(&src);
+        for (h, &got) in src.iter().zip(&batch) {
+            let want = h.to_f32();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "bits {:#06x}: batch {got} vs scalar {want}",
+                h.0
+            );
+        }
+    }
+
+    #[test]
+    fn from_f32_slice_matches_scalar_on_structured_sweep() {
+        // Every f16 value, every half-ulp midpoint around it, values just
+        // above/below the midpoints, and a dense pseudorandom sweep: the
+        // chunked RTNE converter must agree with the scalar path bitwise.
+        let mut inputs: Vec<f32> = Vec::new();
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            let f = h.to_f32();
+            inputs.push(f);
+            let fb = f.to_bits();
+            // Perturb around the exact value in f32 ulps (crosses the
+            // rounding boundaries of from_f32's 13 discarded bits).
+            for delta in [1u32, 0xFFF, 0x1000, 0x1001] {
+                inputs.push(f32::from_bits(fb.wrapping_add(delta)));
+                inputs.push(f32::from_bits(fb.wrapping_sub(delta)));
+            }
+        }
+        // Dense LCG sweep over raw f32 bit patterns (hits subnormals,
+        // overflow range and NaNs).
+        let mut state = 0x2545_f491u32;
+        for _ in 0..200_000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            inputs.push(f32::from_bits(state));
+        }
+        let batch = F16::vec_from_f32(&inputs);
+        for (&v, got) in inputs.iter().zip(&batch) {
+            let want = F16::from_f32(v);
+            assert_eq!(
+                got.0,
+                want.0,
+                "input {v} ({:#010x}): batch {:#06x} vs scalar {:#06x}",
+                v.to_bits(),
+                got.0,
+                want.0
+            );
+        }
+    }
+
+    #[test]
+    fn slice_converters_handle_remainders_and_empty() {
+        for len in [0usize, 1, 7, 15, 16, 17, 33] {
+            let src: Vec<f32> = (0..len).map(|i| i as f32 * 0.37 - 3.0).collect();
+            let half = F16::vec_from_f32(&src);
+            assert_eq!(half.len(), len);
+            for (&v, h) in src.iter().zip(&half) {
+                assert_eq!(h.0, F16::from_f32(v).0);
+            }
+            let back = F16::vec_to_f32(&half);
+            for (h, &f) in half.iter().zip(&back) {
+                assert_eq!(f.to_bits(), h.to_f32().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn slice_length_mismatch_panics() {
+        let mut out = [F16::ZERO; 2];
+        F16::from_f32_slice(&[1.0], &mut out);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod hmx;
 pub mod hvx;
 pub mod mem;
 pub mod shared;
+pub mod timeline;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -54,4 +55,5 @@ pub mod prelude {
     pub use crate::hvx::{HvxVec, HVX_BYTES, HVX_HALVES, HVX_WORDS};
     pub use crate::mem::{DdrBuffer, TcmAddr};
     pub use crate::shared::SharedBuffer;
+    pub use crate::timeline::{TaskId, Timeline};
 }

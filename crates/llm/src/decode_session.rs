@@ -330,9 +330,19 @@ impl<'m> DecodeSession<'m> {
         self.decode_cost
     }
 
-    /// Simulated decode wall seconds so far.
+    /// Simulated decode wall seconds so far (serial composition).
     pub fn decode_secs(&self) -> f64 {
         self.decode_cost.wall_secs()
+    }
+
+    /// Simulated decode wall seconds under the overlap-aware schedule:
+    /// the sum of each step's critical-path period, so the CPU lm_head of
+    /// step *t* hides behind the first layers of step *t+1* across
+    /// [`DecodeSession::step`] boundaries when the model runs with
+    /// [`crate::overlap::DispatchMode::Overlapped`]. Equals
+    /// [`DecodeSession::decode_secs`] under serial dispatch.
+    pub fn decode_overlapped_secs(&self) -> f64 {
+        self.decode_cost.overlapped_secs
     }
 
     /// Decode throughput in tokens per simulated second.

@@ -31,6 +31,7 @@ pub mod cpu_ref;
 pub mod decode_session;
 pub mod kv_cache;
 pub mod model;
+pub mod overlap;
 pub mod ppl;
 pub mod tokenizer;
 pub mod weights;
@@ -39,4 +40,5 @@ pub use config::{ModelConfig, ModelId};
 pub use decode_session::{DecodeSession, FinishedSeq, SeqId};
 pub use kv_cache::{KvCache, KvSeqSnapshot};
 pub use model::{DecodeOutput, LayerSchedule, Model, StepCost};
+pub use overlap::{DispatchMode, LayerStage, StepStages};
 pub use tokenizer::Tokenizer;

@@ -21,7 +21,13 @@ use htpops::misc;
 
 use crate::config::{ModelConfig, ModelId};
 use crate::kv_cache::KvCache;
+use crate::overlap::{self, DispatchMode, LayerStage, StepStages};
 use crate::weights::ModelWeights;
+
+/// NPU op submissions per transformer layer (2 norms, 3 QKV, RoPE,
+/// attention, output proj, 2 residuals, gate/up/down, SwiGLU), each paying
+/// ring submission + cache maintenance + completion sync.
+const LAYER_DISPATCH_OPS: f64 = 14.0;
 
 /// Wall-time cost of one model step, by operator class.
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,6 +43,12 @@ pub struct StepCost {
     /// CPU-side NPU session switches (multi-session sharded execution,
     /// paper Section 8); zero for single-session deployments.
     pub switch_secs: f64,
+    /// Critical-path wall seconds of the step under the overlap-aware
+    /// event-timeline schedule ([`crate::overlap`], paper Section 7.2.2).
+    /// Equals [`StepCost::wall_secs`] under [`DispatchMode::Serial`] (the
+    /// default); never exceeds it. The per-engine totals above are busy
+    /// time and do not change with the dispatch mode.
+    pub overlapped_secs: f64,
 }
 
 impl StepCost {
@@ -45,10 +57,11 @@ impl StepCost {
         self.gemm_secs + self.attn_secs + self.misc_secs
     }
 
-    /// Total wall seconds. The CPU logits pass serializes with the NPU
-    /// (sampling feeds the next step), matching the paper's observation;
+    /// Total wall seconds under serial dispatch: the CPU logits pass
+    /// serializes with the NPU (sampling feeds the next step), and
     /// session switches serialize too (the CPU re-points dispatch before
-    /// the next shard's layers can run).
+    /// the next shard's layers can run). The overlap-aware view of the
+    /// same step is [`StepCost::overlapped_secs`].
     pub fn wall_secs(&self) -> f64 {
         self.npu_secs() + self.cpu_secs + self.switch_secs
     }
@@ -60,6 +73,7 @@ impl StepCost {
         self.misc_secs += other.misc_secs;
         self.cpu_secs += other.cpu_secs;
         self.switch_secs += other.switch_secs;
+        self.overlapped_secs += other.overlapped_secs;
     }
 }
 
@@ -111,6 +125,10 @@ pub struct DecodeOutput {
     pub logits: Vec<f32>,
     /// Cost breakdown of the step.
     pub cost: StepCost,
+    /// Stage breakdown of the step — the input the overlap scheduler
+    /// ([`crate::overlap`]) derived [`StepCost::overlapped_secs`] from,
+    /// exposed so tests and benches can recompute the critical path.
+    pub stages: StepStages,
 }
 
 /// A model instance bound to one NPU context.
@@ -136,6 +154,11 @@ pub struct Model {
     /// Section 8). Defaults to single-session (no switches); set via
     /// [`Model::set_layer_schedule`].
     schedule: LayerSchedule,
+    /// How stages compose into wall time: additive (the default, every
+    /// historical number bit-identical) or overlap-aware (paper Section
+    /// 7.2.2 pipelining). Set via [`Model::set_dispatch_mode`]. Only the
+    /// time model changes — logits and per-engine busy totals do not.
+    dispatch: DispatchMode,
 }
 
 impl Model {
@@ -157,7 +180,20 @@ impl Model {
             threads: 6,
             op_dispatch_secs: 100e-6,
             schedule: LayerSchedule::single_session(),
+            dispatch: DispatchMode::Serial,
         })
+    }
+
+    /// Selects how the step's stages compose into wall time (serial sum
+    /// vs. overlap-aware critical path). Functional results are identical
+    /// in both modes; only [`StepCost::overlapped_secs`] changes.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.dispatch = mode;
+    }
+
+    /// The installed dispatch mode.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
     }
 
     /// Installs the session walk schedule for sharded execution. Every
@@ -202,7 +238,8 @@ impl Model {
     /// Walks every layer in shard order, charging a session switch at
     /// each shard boundary and one wrap-around switch at the end of a
     /// sharded walk. With a single-session schedule this is exactly the
-    /// historical `0..layers` loop.
+    /// historical `0..layers` loop. Each layer's kernel/dispatch seconds
+    /// are recorded into `stages` for the overlap scheduler.
     #[allow(clippy::too_many_arguments)]
     fn walk_layers(
         &self,
@@ -214,14 +251,28 @@ impl Model {
         positions: &[usize],
         prefill: bool,
         cost: &mut StepCost,
+        stages: &mut Vec<LayerStage>,
     ) -> SimResult<()> {
         let mut next_boundary = self.schedule.boundaries.iter().peekable();
         for layer in 0..self.cfg.layers {
-            if next_boundary.peek() == Some(&&layer) {
+            let switch_before = next_boundary.peek() == Some(&&layer);
+            if switch_before {
                 next_boundary.next();
                 self.charge_session_switch(ctx, cost);
             }
+            let before = *cost;
             self.layer_forward(ctx, layer, x, rows, cache, seqs, positions, prefill, cost)?;
+            let dispatch_secs = LAYER_DISPATCH_OPS * self.op_dispatch_secs;
+            let npu_secs = ((cost.gemm_secs - before.gemm_secs)
+                + (cost.attn_secs - before.attn_secs)
+                + (cost.misc_secs - before.misc_secs)
+                - dispatch_secs)
+                .max(0.0);
+            stages.push(LayerStage {
+                npu_secs,
+                dispatch_secs,
+                switch_before,
+            });
         }
         if self.schedule.is_sharded() {
             // Return dispatch to the first shard for the next pass.
@@ -282,12 +333,19 @@ impl Model {
         if !functional {
             return Vec::new();
         }
+        // Convert each hidden state to f32 once (chunked, SIMD-friendly)
+        // instead of once per vocabulary row; `to_f32` is exact, so the
+        // accumulation below is bit-identical to converting in the inner
+        // loop.
+        let xf = F16::vec_to_f32(x);
         let mut logits = vec![0.0f32; rows * vocab];
         for r in 0..rows {
+            let row = &xf[r * hidden..(r + 1) * hidden];
             for v in 0..vocab {
+                let w = &self.weights.embed[v * hidden..(v + 1) * hidden];
                 let mut acc = 0.0f32;
-                for h in 0..hidden {
-                    acc += x[r * hidden + h].to_f32() * self.weights.embed[v * hidden + h];
+                for (xv, wv) in row.iter().zip(w) {
+                    acc += xv * wv;
                 }
                 logits[r * vocab + v] = acc;
             }
@@ -544,12 +602,8 @@ impl Model {
         });
         cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
-        // Per-operator dispatch overhead: ~14 NPU op submissions per layer
-        // (2 norms, 3 QKV, RoPE, attention, output proj, 2 residuals,
-        // gate/up/down, SwiGLU), each paying ring submission + cache
-        // maintenance + completion sync.
-        let dispatches = 14.0;
-        let overhead = dispatches * self.op_dispatch_secs;
+        // Per-operator dispatch overhead (see [`LAYER_DISPATCH_OPS`]).
+        let overhead = LAYER_DISPATCH_OPS * self.op_dispatch_secs;
         ctx.cost.charge_secs(hexsim::cost::Engine::Scalar, overhead);
         cost.misc_secs += overhead;
         Ok(())
@@ -606,8 +660,10 @@ impl Model {
         } else {
             Vec::new()
         };
-        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let embed_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.cpu_secs += embed_secs;
 
+        let mut layer_stages = Vec::with_capacity(self.cfg.layers);
         self.walk_layers(
             ctx,
             &mut x,
@@ -617,6 +673,7 @@ impl Model {
             &[start_pos],
             true,
             &mut cost,
+            &mut layer_stages,
         )?;
 
         // Final norm + logits: last position only for generation, every
@@ -637,7 +694,8 @@ impl Model {
                 &mut []
             },
         );
-        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let final_npu_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.misc_secs += final_npu_secs;
 
         let snap = ctx.cost.snapshot();
         let logits = if functional {
@@ -645,9 +703,29 @@ impl Model {
         } else {
             self.lm_head(ctx, &[], head_rows, false)
         };
-        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let head_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.cpu_secs += head_secs;
         ctx.cost.clear_phases();
-        Ok(DecodeOutput { logits, cost })
+        let stages = StepStages {
+            cpu_embed_secs: embed_secs,
+            layers: layer_stages,
+            final_npu_secs,
+            cpu_head_secs: head_secs,
+            switch_secs: self.schedule.switch_secs,
+            wrap_switch: self.schedule.is_sharded(),
+            batch: rows,
+        };
+        // Prefill is one standalone pass: dispatch and session switches
+        // overlap the walk, but there is no next step to pipeline into.
+        cost.overlapped_secs = match self.dispatch {
+            DispatchMode::Serial => cost.wall_secs(),
+            DispatchMode::Overlapped => overlap::single_pass_secs(&stages),
+        };
+        Ok(DecodeOutput {
+            logits,
+            cost,
+            stages,
+        })
     }
 
     /// One batched decode step over the leading cache slots: `tokens[i]`
@@ -710,10 +788,20 @@ impl Model {
         } else {
             Vec::new()
         };
-        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let embed_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.cpu_secs += embed_secs;
 
+        let mut layer_stages = Vec::with_capacity(self.cfg.layers);
         self.walk_layers(
-            ctx, &mut x, batch, cache, seqs, &positions, false, &mut cost,
+            ctx,
+            &mut x,
+            batch,
+            cache,
+            seqs,
+            &positions,
+            false,
+            &mut cost,
+            &mut layer_stages,
         )?;
 
         let snap = ctx.cost.snapshot();
@@ -726,13 +814,37 @@ impl Model {
             |ctx, _, row| misc::rmsnorm(ctx, row, &final_norm, 1e-5),
             &mut x,
         );
-        cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let final_npu_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.misc_secs += final_npu_secs;
 
         let snap = ctx.cost.snapshot();
         let logits = self.lm_head(ctx, &x, batch, functional);
-        cost.cpu_secs += ctx.cost.delta_since(&snap, "").wall_secs;
+        let head_secs = ctx.cost.delta_since(&snap, "").wall_secs;
+        cost.cpu_secs += head_secs;
         ctx.cost.clear_phases();
-        Ok(DecodeOutput { logits, cost })
+        let stages = StepStages {
+            cpu_embed_secs: embed_secs,
+            layers: layer_stages,
+            final_npu_secs,
+            cpu_head_secs: head_secs,
+            switch_secs: self.schedule.switch_secs,
+            wrap_switch: self.schedule.is_sharded(),
+            batch,
+        };
+        // Decode steps repeat, so the overlap-aware wall time is the
+        // steady-state period of the pipelined schedule: the CPU tail of
+        // step t hides behind the first layers of step t+1 (Section
+        // 7.2.2), dispatch rides the double-buffered ring, and session
+        // switches hide behind the previous shard's tail kernels.
+        cost.overlapped_secs = match self.dispatch {
+            DispatchMode::Serial => cost.wall_secs(),
+            DispatchMode::Overlapped => overlap::steady_state_step_secs(&stages),
+        };
+        Ok(DecodeOutput {
+            logits,
+            cost,
+            stages,
+        })
     }
 }
 

@@ -1,0 +1,405 @@
+//! Overlap-aware step scheduling: the event-timeline view of a decode or
+//! prefill step (paper Section 7.2.2).
+//!
+//! The serial cost model sums every stage of a step —
+//! `StepCost::wall_secs()` is NPU kernels + CPU work + session switches —
+//! so every CPU microsecond and every 30 µs session switch lands on the
+//! critical path. The paper's runtime pipelines instead: the CPU
+//! lm_head/sampling of token *t* runs while the NPU computes the first
+//! layers of token *t+1*, command submission for layer *N+1* rides the
+//! double-buffered ring while layer *N* executes, and a session switch
+//! overlaps the previous shard's tail kernels. This module reproduces that
+//! schedule on [`hexsim::timeline::Timeline`] and reports its critical
+//! path as [`crate::model::StepCost::overlapped_secs`].
+//!
+//! # Stage graph
+//!
+//! A step is recorded as [`StepStages`]: a CPU embedding stage, one
+//! [`LayerStage`] per transformer layer (NPU kernel seconds plus command
+//! dispatch seconds, with an optional session switch before the layer), a
+//! final-norm NPU stage, and the CPU lm_head/sampling tail. The schedule
+//! places these on four lanes:
+//!
+//! ```text
+//! lane        iteration t-1                iteration t
+//! CPU       ──[head t-2|embed t-1]──────[head t-1|embed t]──────── ...
+//!                      \ first rows              \ first rows
+//! NPU       ────────────[L0][L1]..[Ln][norm]──────[L0][L1]... ──── ...
+//! DISPATCH  ──[d0][d1]..[dn]───[d0][d1]..            (ring depth 2)
+//! SWITCH    ─────────[sw]───────────[wrap]─────────[sw]──────────── ...
+//! ```
+//!
+//! Dependency edges (finish-to-start):
+//!
+//! - layer 0 of step *t* waits for the **first rows** of the CPU block
+//!   (lm_head of *t-1* + embedding of *t*, streamed row by row): at batch
+//!   *b* that is `1/b` of the block, so the CPU tail hides behind NPU
+//!   compute once the batch is large (at `b = 1` the dependency is the
+//!   whole block and the CPU stays on the critical path, matching the
+//!   paper's batch-1 observation);
+//! - the **final norm** of step *t* is the full-batch barrier: row chunks
+//!   stream through the layer walk as the CPU emits them, but the final
+//!   norm and the lm_head behind it need every row, so they wait for the
+//!   rest of the CPU block — the pipeline never runs more than one step
+//!   ahead;
+//! - dispatch of layer *i* waits for layer *i-2* (a depth-2 command ring:
+//!   commands for layer *i* are submitted while layer *i-1* executes);
+//! - a session switch waits only for the previous shard's **commands** to
+//!   be queued (dispatch of the boundary's predecessor), so it runs while
+//!   the NPU drains that shard's tail kernels; the first layer of the new
+//!   shard waits for the switch;
+//! - the wrap-around switch (back to shard 0) overlaps the CPU tail.
+//!
+//! DMA is not a lane here: DDR↔TCM streaming already overlaps compute
+//! *inside* each kernel via the phase model ([`hexsim::cost`] — phase wall
+//! time is the max over engines), so a layer's `npu_secs` is the
+//! post-overlap kernel wall time and scheduling it again would double
+//! count.
+//!
+//! Every path through one iteration of the graph visits each stage at most
+//! once, so the steady-state period can never exceed the serial sum; the
+//! golden tests pin `overlapped <= serial` and `overlapped == serial` when
+//! overlap is disabled (the [`DispatchMode::Serial`] default keeps every
+//! pre-existing number bit-identical).
+
+use hexsim::timeline::{TaskId, Timeline};
+
+/// How the runtime composes a step's stages in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Historical additive accounting: every stage serializes
+    /// (`overlapped_secs == wall_secs()`). The default; reproduces every
+    /// pre-overlap number bit-for-bit.
+    #[default]
+    Serial,
+    /// Event-timeline accounting: `overlapped_secs` is the critical path
+    /// of the pipelined schedule described in the module docs.
+    Overlapped,
+}
+
+/// Lane indices of the step schedule.
+pub mod lane {
+    /// Host CPU worker (embedding, lm_head, sampling).
+    pub const CPU: usize = 0;
+    /// NPU compute (HVX/HMX kernel wall time, DMA already folded in).
+    pub const NPU: usize = 1;
+    /// CPU-side command dispatch thread feeding the ring.
+    pub const DISPATCH: usize = 2;
+    /// Session-switch lane (FastRPC handle swap + ring cache maintenance).
+    pub const SWITCH: usize = 3;
+    /// Number of lanes.
+    pub const COUNT: usize = 4;
+}
+
+/// One transformer layer's contribution to a step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerStage {
+    /// NPU kernel wall seconds (GEMMs + attention + misc, DMA overlap
+    /// already composed at phase level; dispatch excluded).
+    pub npu_secs: f64,
+    /// Command submission overhead for the layer's ops (ring writes,
+    /// cache maintenance, completion sync).
+    pub dispatch_secs: f64,
+    /// Whether a session switch precedes this layer (shard boundary).
+    pub switch_before: bool,
+}
+
+/// The recorded stage breakdown of one forward step — the input to the
+/// overlap scheduler, captured by `Model` on every step in both execution
+/// modes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepStages {
+    /// CPU embedding-lookup seconds at the head of the step.
+    pub cpu_embed_secs: f64,
+    /// Per-layer stages in walk order.
+    pub layers: Vec<LayerStage>,
+    /// Final RMSNorm on the NPU after the last layer.
+    pub final_npu_secs: f64,
+    /// CPU lm_head + sampling seconds at the tail of the step.
+    pub cpu_head_secs: f64,
+    /// Seconds per session switch (0 when single-session).
+    pub switch_secs: f64,
+    /// Whether a wrap-around switch returns dispatch to the first shard
+    /// after the walk.
+    pub wrap_switch: bool,
+    /// Decode batch size (rows); controls how much of the CPU block the
+    /// next step's first layer must wait for.
+    pub batch: usize,
+}
+
+impl StepStages {
+    /// The serial (additive) wall time of the recorded stages — the same
+    /// quantity as `StepCost::wall_secs()`, up to float association.
+    pub fn serial_secs(&self) -> f64 {
+        let mut total = self.cpu_embed_secs + self.final_npu_secs + self.cpu_head_secs;
+        let mut switches = usize::from(self.wrap_switch);
+        for l in &self.layers {
+            total += l.npu_secs + l.dispatch_secs;
+            switches += usize::from(l.switch_before);
+        }
+        total + switches as f64 * self.switch_secs
+    }
+}
+
+/// Tasks of one scheduled iteration that later iterations depend on.
+struct IterTasks {
+    last_layer: Option<TaskId>,
+    penultimate_layer: Option<TaskId>,
+    last_dispatch: Option<TaskId>,
+    final_norm: TaskId,
+    wrap_switch: Option<TaskId>,
+}
+
+/// Submits one decode iteration to the timeline. `prev` is the previous
+/// iteration (None for the pipeline fill, whose CPU block is only the
+/// embedding — there is no earlier lm_head to fold in).
+fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>) -> IterTasks {
+    let b = st.batch.max(1) as f64;
+    // The CPU block between two NPU walks: lm_head+sampling of the
+    // previous step, then this step's embedding, streamed row by row.
+    let block = match prev {
+        Some(_) => st.cpu_head_secs + st.cpu_embed_secs,
+        None => st.cpu_embed_secs,
+    };
+    let first_share = block / b;
+    let mut first_deps: Vec<TaskId> = Vec::new();
+    if let Some(p) = prev {
+        first_deps.push(p.final_norm);
+    }
+    let cpu_first = tl.submit(lane::CPU, first_share, &first_deps);
+    let cpu_rest = tl.submit(lane::CPU, block - first_share, &[]);
+
+    let mut prev_layer: Option<TaskId> = prev.and_then(|p| p.last_layer);
+    let mut penult_layer: Option<TaskId> = prev.and_then(|p| p.penultimate_layer);
+    let mut prev_dispatch: Option<TaskId> = prev.and_then(|p| p.last_dispatch);
+    let mut last_layer = None;
+    let mut last_dispatch = None;
+    for (i, layer) in st.layers.iter().enumerate() {
+        // Session switch at a shard boundary: starts once the previous
+        // shard's commands are queued, overlapping its tail kernels.
+        let switch = if layer.switch_before && i > 0 {
+            let deps: Vec<TaskId> = prev_dispatch.into_iter().collect();
+            Some(tl.submit(lane::SWITCH, st.switch_secs, &deps))
+        } else {
+            None
+        };
+        // Command dispatch for layer i: depth-2 ring — submitted while
+        // layer i-1 executes, i.e. after layer i-2 completed. Commands for
+        // a new shard go to the new session's ring, after the switch.
+        let mut ddeps: Vec<TaskId> = Vec::new();
+        if let Some(two_back) = penult_layer {
+            ddeps.push(two_back);
+        }
+        if let Some(s) = switch {
+            ddeps.push(s);
+        }
+        let disp = tl.submit(lane::DISPATCH, layer.dispatch_secs, &ddeps);
+        // NPU compute: after its commands, its shard's switch, the layer
+        // before it, and — for the walk's head — the CPU rows it consumes.
+        let mut ldeps: Vec<TaskId> = vec![disp];
+        if let Some(s) = switch {
+            ldeps.push(s);
+        }
+        if let Some(pl) = prev_layer {
+            ldeps.push(pl);
+        }
+        if i == 0 {
+            ldeps.push(cpu_first);
+            if let Some(w) = prev.and_then(|p| p.wrap_switch) {
+                ldeps.push(w);
+            }
+        }
+        let lt = tl.submit(lane::NPU, layer.npu_secs, &ldeps);
+        penult_layer = prev_layer;
+        prev_layer = Some(lt);
+        last_layer = Some(lt);
+        prev_dispatch = Some(disp);
+        last_dispatch = Some(disp);
+    }
+    // Final norm: the full-batch barrier. Row chunks stream through the
+    // layer walk as the CPU emits them, but the final norm (and the
+    // lm_head behind it) needs every row, so it waits for the whole CPU
+    // block on top of the NPU lane serialization.
+    let final_norm = tl.submit(lane::NPU, st.final_npu_secs, &[cpu_rest]);
+    // Wrap-around switch back to shard 0, overlapping the CPU tail.
+    let wrap_switch = if st.wrap_switch {
+        let deps: Vec<TaskId> = last_dispatch.into_iter().collect();
+        Some(tl.submit(lane::SWITCH, st.switch_secs, &deps))
+    } else {
+        None
+    };
+    IterTasks {
+        last_layer,
+        penultimate_layer: penult_layer,
+        last_dispatch,
+        final_norm,
+        wrap_switch,
+    }
+}
+
+/// Iterations scheduled to reach (and measure) the steady state.
+const STEADY_ITERS: usize = 10;
+
+/// Steady-state wall seconds of one decode step under the pipelined
+/// schedule: identical iterations are scheduled until the per-iteration
+/// period settles, and the period between the last two is returned. The
+/// result never exceeds [`StepStages::serial_secs`] (every dependency path
+/// visits each stage at most once per iteration).
+pub fn steady_state_step_secs(st: &StepStages) -> f64 {
+    let mut tl = Timeline::new(lane::COUNT);
+    let mut prev: Option<IterTasks> = None;
+    let mut marks = [0.0f64; STEADY_ITERS];
+    for mark in marks.iter_mut() {
+        let it = submit_iteration(&mut tl, st, prev.as_ref());
+        *mark = tl.finish(it.final_norm);
+        prev = Some(it);
+    }
+    let period = marks[STEADY_ITERS - 1] - marks[STEADY_ITERS - 2];
+    // The CPU tail of the final step is part of every period (it is the
+    // head of the next iteration's CPU block); nothing to add. Guard
+    // against float drift pushing past the serial bound.
+    period.min(st.serial_secs())
+}
+
+/// Wall seconds of one *standalone* pass (prefill): a single iteration
+/// with its CPU tail, no cross-step pipelining — only dispatch, DMA and
+/// session-switch overlap apply.
+pub fn single_pass_secs(st: &StepStages) -> f64 {
+    let mut tl = Timeline::new(lane::COUNT);
+    let it = submit_iteration(&mut tl, st, None);
+    tl.submit(lane::CPU, st.cpu_head_secs, &[it.final_norm]);
+    tl.makespan().min(st.serial_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages(batch: usize) -> StepStages {
+        StepStages {
+            cpu_embed_secs: 1e-3,
+            layers: vec![
+                LayerStage {
+                    npu_secs: 10e-3,
+                    dispatch_secs: 1e-3,
+                    switch_before: false,
+                },
+                LayerStage {
+                    npu_secs: 10e-3,
+                    dispatch_secs: 1e-3,
+                    switch_before: false,
+                },
+            ],
+            final_npu_secs: 0.5e-3,
+            cpu_head_secs: 8e-3,
+            switch_secs: 0.0,
+            wrap_switch: false,
+            batch,
+        }
+    }
+
+    #[test]
+    fn serial_secs_sums_every_stage() {
+        let st = stages(8);
+        // 1 + (10+1)*2 + 0.5 + 8 = 31.5 ms.
+        assert!((st.serial_secs() - 31.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_matches_hand_computed_critical_path() {
+        // At batch 8 the CPU block (head 8ms + embed 1ms) streams its
+        // first rows in 9/8 ms; the critical cycle is
+        // first-rows -> L0 -> L1 -> norm = 9/8 + 10 + 10 + 0.5 ms.
+        let st = stages(8);
+        let want = (9.0 / 8.0 + 10.0 + 10.0 + 0.5) * 1e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn batch_one_keeps_cpu_on_the_critical_path() {
+        // At batch 1 the full CPU block precedes layer 0; only the
+        // dispatch overhead hides (2 ms of it).
+        let st = stages(1);
+        let want = (9.0 + 10.0 + 10.0 + 0.5) * 1e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn cpu_bound_steps_are_paced_by_the_cpu_lane() {
+        // A huge CPU tail: the period degenerates to the CPU block plus
+        // the full-batch barrier (the NPU waits on rows), not below it.
+        let mut st = stages(16);
+        st.cpu_head_secs = 100e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - 101.5e-3).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn boundary_switches_hide_behind_tail_kernels() {
+        let mut st = stages(8);
+        let base = steady_state_step_secs(&st);
+        st.layers[1].switch_before = true;
+        st.wrap_switch = true;
+        st.switch_secs = 30e-6;
+        let sharded = steady_state_step_secs(&st);
+        // Serial pays both switches in full; the schedule hides them
+        // behind the 10 ms tail kernels and the CPU block.
+        assert!((sharded - base).abs() < 1e-12, "{sharded} vs {base}");
+        assert!(st.serial_secs() - stages(8).serial_secs() > 5e-5);
+    }
+
+    #[test]
+    fn dispatch_bound_walks_are_paced_by_the_dispatch_lane() {
+        // Dispatch slower than compute: the ring becomes the bottleneck
+        // and the period approaches the dispatch-lane occupancy.
+        let mut st = stages(8);
+        for l in &mut st.layers {
+            l.npu_secs = 1e-3;
+            l.dispatch_secs = 20e-3;
+        }
+        let got = steady_state_step_secs(&st);
+        assert!(got >= 40e-3 - 1e-12, "dispatch lane must pace: {got}");
+        assert!(got <= st.serial_secs());
+    }
+
+    #[test]
+    fn single_pass_hides_dispatch_only() {
+        let st = stages(4);
+        let got = single_pass_secs(&st);
+        // embed + L0(after its 1ms dispatch, which nothing hides) + L1
+        // (dispatch hidden) + norm + head; the first dispatch starts at
+        // t=0 concurrently with the embed.
+        let want = (1.0 + 10.0 + 10.0 + 0.5 + 8.0) * 1e-3;
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn single_layer_walk_schedules() {
+        let mut st = stages(8);
+        st.layers.truncate(1);
+        let got = steady_state_step_secs(&st);
+        assert!(got > 0.0 && got <= st.serial_secs());
+        let one = single_pass_secs(&st);
+        assert!(one > 0.0 && one <= st.serial_secs());
+    }
+
+    #[test]
+    fn empty_walk_is_degenerate_but_bounded() {
+        let st = StepStages {
+            cpu_embed_secs: 1e-3,
+            layers: Vec::new(),
+            final_npu_secs: 0.0,
+            cpu_head_secs: 2e-3,
+            switch_secs: 0.0,
+            wrap_switch: false,
+            batch: 1,
+        };
+        assert!(steady_state_step_secs(&st) <= st.serial_secs() + 1e-15);
+        assert!(single_pass_secs(&st) <= st.serial_secs() + 1e-15);
+    }
+}

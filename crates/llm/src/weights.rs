@@ -277,10 +277,9 @@ impl ModelWeights {
     pub fn embed_row(&self, cfg: &ModelConfig, token: u32) -> Vec<F16> {
         let t = token as usize;
         assert!(t < cfg.vocab, "token {t} out of vocabulary");
-        self.embed[t * cfg.hidden..(t + 1) * cfg.hidden]
-            .iter()
-            .map(|&v| F16::from_f32(v))
-            .collect()
+        // Chunked conversion is bit-identical to elementwise `from_f32`
+        // (pinned by hexsim's exhaustive differential tests).
+        F16::vec_from_f32(&self.embed[t * cfg.hidden..(t + 1) * cfg.hidden])
     }
 }
 

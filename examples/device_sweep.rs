@@ -10,12 +10,18 @@
 //! across 2 sessions; Qwen-7B runs sharded on every generation) and are
 //! tagged with their session count.
 //!
-//! Run with: `cargo run --release --example device_sweep`
+//! The final section runs decode with overlap-aware async dispatch ON and
+//! OFF (paper Section 7.2.2): it writes the machine-readable
+//! `BENCH_decode.json` artifact and **fails the process** if any
+//! overlapped point regresses above its serial baseline — CI runs this
+//! example on every push, so both the sharded execution path and the
+//! overlap win are exercised — not just compiled — continuously.
 //!
-//! CI runs this example on every push, so the sharded execution path is
-//! exercised — not just compiled — continuously.
+//! Run with: `cargo run --release --example device_sweep`
 
+use benchutil::json::Json;
 use npuscale::backend::{all_backends, decode_sweep, SweepOutcome};
+use npuscale::experiments::decode_overlap_rows;
 use npuscale::memory::measure_overhead;
 use npuscale_repro::prelude::*;
 
@@ -96,4 +102,70 @@ fn main() {
          32-bit VA spaces, with a CPU-side session switch charged at every\n\
          shard boundary of each decode step."
     );
+    overlap_section();
+}
+
+/// Serial vs. overlap-aware async dispatch (paper Section 7.2.2): prints
+/// the comparison, writes `BENCH_decode.json`, and exits non-zero if any
+/// overlapped point regresses above its serial baseline.
+fn overlap_section() {
+    println!("\n=== Async dispatch overlap (Section 7.2.2): serial vs overlapped ===");
+    println!(
+        "{:<6} {:<6} {:>5} {:>6} {:>12} {:>12} {:>8} {:>9}",
+        "device", "model", "batch", "ctx", "serial t/s", "async t/s", "speedup", "sessions"
+    );
+    let rows = decode_overlap_rows();
+    let mut regressed = false;
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<6} {:<6} {:>5} {:>6} {:>12.1} {:>12.1} {:>7.2}x {:>9}",
+            r.device,
+            r.model,
+            r.batch,
+            r.ctx_len,
+            r.serial_tps,
+            r.overlapped_tps,
+            r.speedup,
+            r.sessions
+        );
+        // The critical path can never exceed the serial stage sum; a
+        // violation means the timeline scheduler regressed.
+        if r.overlapped_tps < r.serial_tps * (1.0 - 1e-9) {
+            eprintln!(
+                "REGRESSION: {}/{} b{}: overlapped {} tok/s below serial {} tok/s",
+                r.device, r.model, r.batch, r.overlapped_tps, r.serial_tps
+            );
+            regressed = true;
+        }
+        json_rows.push(Json::obj([
+            ("device", Json::str(r.device.clone())),
+            ("model", Json::str(r.model.clone())),
+            ("batch", Json::from(r.batch)),
+            ("ctx_len", Json::from(r.ctx_len)),
+            ("serial_tps", Json::Num(r.serial_tps)),
+            ("overlapped_tps", Json::Num(r.overlapped_tps)),
+            ("speedup", Json::Num(r.speedup)),
+            ("sessions", Json::from(r.sessions)),
+        ]));
+    }
+    let artifact = Json::obj([
+        ("bench", Json::str("decode_overlap")),
+        ("unit", Json::str("tokens_per_sec")),
+        (
+            "description",
+            Json::str(
+                "Decode throughput, serial vs overlap-aware async dispatch \
+                 (paper Sec 7.2.2), per device profile; regenerated by \
+                 `cargo run --release --example device_sweep`",
+            ),
+        ),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    benchutil::json::write_file("BENCH_decode.json", &artifact).expect("writing BENCH_decode.json");
+    println!("\nWrote BENCH_decode.json ({} rows).", rows.len());
+    if regressed {
+        eprintln!("overlapped decode regressed above the serial baseline");
+        std::process::exit(1);
+    }
 }

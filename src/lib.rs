@@ -37,16 +37,20 @@ pub mod prelude {
     pub use edgellm::decode_session::{DecodeSession, SeqId};
     pub use edgellm::kv_cache::KvCache;
     pub use edgellm::model::{LayerSchedule, Model};
+    pub use edgellm::overlap::DispatchMode;
     pub use edgellm::tokenizer::Tokenizer;
     pub use hexsim::prelude::*;
     pub use htpops::exp_lut::ExpMethod;
     pub use htpops::gemm::DequantVariant;
     pub use mathsynth::mathgen::{DatasetKind, TaskGenerator};
     pub use npuscale::backend::{
-        all_backends, figure13_backends, npu_backend, Backend, FitReport, NpuSimBackend,
+        all_backends, figure13_backends, npu_backend, npu_backends_both, Backend, FitReport,
+        NpuSimBackend,
     };
     pub use npuscale::pipeline::{
-        measure_decode, measure_decode_sharded, measure_prefill, measure_prefill_sharded,
+        measure_decode, measure_decode_sharded, measure_decode_sharded_with, measure_decode_with,
+        measure_prefill, measure_prefill_sharded, measure_prefill_sharded_with,
+        measure_prefill_with,
     };
     pub use npuscale::power::PowerModel;
     pub use npuscale::session::{LayerShard, MultiSession, ShardPlan};
