@@ -106,6 +106,50 @@ fn bench_softmax(c: &mut Criterion) {
             })
         });
     }
+    // The pass-2 host lane sum in isolation: per-lane scalar conversion
+    // against the chunked slice converter now used by softmax_rows (both
+    // bit-identical, pinned by the exhaustive htpops test) — the same
+    // scalar-vs-chunked pin pattern as the f16 group above.
+    let vecs: Vec<HvxVec> = (0..64)
+        .map(|r| {
+            let mut v = HvxVec::zero();
+            for lane in 0..HVX_HALVES {
+                v.set_hf(
+                    lane,
+                    F16::from_f32(-((r * HVX_HALVES + lane) as f32 % 97.0) / 10.0),
+                );
+            }
+            v
+        })
+        .collect();
+    group.bench_function("host_lane_sum_scalar_4096", |b| {
+        b.iter(|| {
+            let mut sum = 0.0f64;
+            for v in std::hint::black_box(&vecs) {
+                for lane in 0..HVX_HALVES {
+                    sum += v.get_hf(lane).to_f32() as f64;
+                }
+            }
+            sum
+        })
+    });
+    group.bench_function("host_lane_sum_chunked_4096", |b| {
+        b.iter(|| {
+            let mut sum = 0.0f64;
+            let mut lanes = [F16::ZERO; HVX_HALVES];
+            let mut lanes_f32 = [0.0f32; HVX_HALVES];
+            for v in std::hint::black_box(&vecs) {
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    *slot = v.get_hf(lane);
+                }
+                F16::to_f32_slice(&lanes, &mut lanes_f32);
+                for &x in &lanes_f32 {
+                    sum += x as f64;
+                }
+            }
+            sum
+        })
+    });
     group.finish();
 }
 

@@ -140,13 +140,20 @@ fn analytic_prefill_point(
 /// functions. [`NpuSimBackend::overlapped`] builds the async-dispatch
 /// variant ("Ours (async)"): same kernels, same logits, but wall time is
 /// the critical path of the Section 7.2.2 pipelined schedule instead of
-/// the serial stage sum.
+/// the serial stage sum. [`NpuSimBackend::streamed`] adds the hot/cold
+/// weight hierarchy on top of async dispatch ("Ours (streamed)"): cold
+/// transformer layers live in a CPU-owned DDR staging region and stream
+/// through a double-buffered window on the timeline's DMA lane, so a
+/// deployment occupies far fewer sessions (or becomes runnable at all).
 #[derive(Clone, Debug)]
 pub struct NpuSimBackend {
     /// Device profile the pipeline simulates.
     pub device: DeviceProfile,
     /// Serial (historical, the default) or overlap-aware timing.
     pub dispatch: DispatchMode,
+    /// When set, plans the hot/cold streaming placement
+    /// ([`ShardPlan::build_streaming`]) instead of the fully resident one.
+    pub streaming: bool,
 }
 
 impl NpuSimBackend {
@@ -156,6 +163,7 @@ impl NpuSimBackend {
         NpuSimBackend {
             device,
             dispatch: DispatchMode::Serial,
+            streaming: false,
         }
     }
 
@@ -167,27 +175,81 @@ impl NpuSimBackend {
         NpuSimBackend {
             device,
             dispatch: DispatchMode::Overlapped,
+            streaming: false,
+        }
+    }
+
+    /// Backend with the weight-streaming placement under overlap-aware
+    /// dispatch: hot layers (entry and exit) stay resident while cold
+    /// layers stream from DDR through a double-buffered window, their
+    /// fetches prefetched on the DMA lane one layer ahead so steady-state
+    /// decode only pays the *exposed* (non-hidden) fetch time. Streaming
+    /// only makes sense with overlap — serial dispatch would expose every
+    /// fetch — so the dispatch mode is fixed to
+    /// [`DispatchMode::Overlapped`].
+    pub fn streamed(device: DeviceProfile) -> Self {
+        NpuSimBackend {
+            device,
+            dispatch: DispatchMode::Overlapped,
+            streaming: true,
         }
     }
 
     /// Plans the deployment's session placement: contiguous layer shards
     /// (each layer's weights plus its KV slice) across as many 32-bit
     /// sessions as the device needs (1 for everything that fits — the
-    /// common case). This is the plan [`Backend::decode`] and
+    /// common case), or the hot/cold streaming placement when this
+    /// backend streams. This is the plan [`Backend::decode`] and
     /// [`Backend::prefill`] execute.
     pub fn shard_plan(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<ShardPlan> {
         let cfg = ModelConfig::for_id(model);
-        ShardPlan::build(&cfg, self.device.session_va_bytes, batch, ctx_len)
+        if self.streaming {
+            ShardPlan::build_streaming(&cfg, self.device.session_va_bytes, batch, ctx_len)
+        } else {
+            ShardPlan::build(&cfg, self.device.session_va_bytes, batch, ctx_len)
+        }
     }
 
     fn prefill_plan(&self, model: ModelId, prompt_len: usize) -> SimResult<ShardPlan> {
         let cfg = ModelConfig::for_id(model);
-        ShardPlan::build_with_kv_budget(&cfg, self.device.session_va_bytes, prompt_len + 2)
+        if self.streaming {
+            ShardPlan::build_streaming_with_kv_budget(
+                &cfg,
+                self.device.session_va_bytes,
+                prompt_len + 2,
+            )
+        } else {
+            ShardPlan::build_with_kv_budget(&cfg, self.device.session_va_bytes, prompt_len + 2)
+        }
+    }
+
+    /// Rejects plans that need more concurrent NPU sessions than the
+    /// device exposes ([`DeviceProfile::max_sessions`] — the rpcmem
+    /// driver's per-process session cap). The cap is inclusive: a plan
+    /// using exactly `max_sessions` still runs. This is the capacity
+    /// pressure weight streaming relieves — the same deployment planned
+    /// with [`NpuSimBackend::streamed`] needs fewer sessions.
+    fn check_session_cap(&self, plan: &ShardPlan) -> SimResult<()> {
+        if plan.sessions() > self.device.max_sessions {
+            return Err(SimError::Unsupported {
+                reason: format!(
+                    "plan needs {} NPU sessions but {} exposes only {} \
+                     (try the weight-streaming placement)",
+                    plan.sessions(),
+                    self.device.arch.soc_label(),
+                    self.device.max_sessions
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
 impl Backend for NpuSimBackend {
     fn name(&self) -> &'static str {
+        if self.streaming {
+            return "Ours (streamed)";
+        }
         match self.dispatch {
             DispatchMode::Serial => "Ours",
             DispatchMode::Overlapped => "Ours (async)",
@@ -198,10 +260,12 @@ impl Backend for NpuSimBackend {
     /// placement of each layer's weights and KV slice (a layer never
     /// splits across sessions, matching the paper's Section 8 sharding
     /// sketch) — and reports its session count: the VA gate becomes a
-    /// shard count instead of a panic. Errors only when one layer cannot
-    /// map into a whole session.
+    /// shard count instead of a panic. Errors when one layer cannot map
+    /// into a whole session, or when the plan exceeds the device's
+    /// session cap (where the streaming backend may still fit).
     fn fits(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<FitReport> {
         let plan = self.shard_plan(model, batch, ctx_len)?;
+        self.check_session_cap(&plan)?;
         Ok(FitReport {
             sessions: plan.sessions(),
             bytes: plan.bytes,
@@ -209,12 +273,16 @@ impl Backend for NpuSimBackend {
     }
 
     /// Decodes through the shard plan automatically: single-session
-    /// deployments take the historical path bit-for-bit; larger ones run
-    /// the paper's Section 8 multi-session execution (e.g. Qwen-3B on the
-    /// 8 Gen 2 decodes across 2 sessions instead of erroring).
+    /// resident deployments take the historical path bit-for-bit; larger
+    /// ones run the paper's Section 8 multi-session execution (e.g.
+    /// Qwen-3B on the 8 Gen 2 decodes across 2 sessions instead of
+    /// erroring); streaming plans run the hot/cold layer walk whatever
+    /// their session count, since the walk must know which layers to
+    /// fetch.
     fn decode(&self, model: ModelId, batch: usize, ctx_len: usize) -> SimResult<DecodePoint> {
         let plan = self.shard_plan(model, batch, ctx_len)?;
-        if plan.sessions() > 1 {
+        self.check_session_cap(&plan)?;
+        if plan.sessions() > 1 || plan.is_streaming() {
             measure_decode_sharded_with(&self.device, model, batch, ctx_len, &plan, self.dispatch)
         } else {
             measure_decode_with(&self.device, model, batch, ctx_len, self.dispatch)
@@ -223,7 +291,8 @@ impl Backend for NpuSimBackend {
 
     fn prefill(&self, model: ModelId, prompt_len: usize) -> SimResult<PrefillPoint> {
         let plan = self.prefill_plan(model, prompt_len)?;
-        if plan.sessions() > 1 {
+        self.check_session_cap(&plan)?;
+        if plan.sessions() > 1 || plan.is_streaming() {
             measure_prefill_sharded_with(&self.device, model, prompt_len, &plan, self.dispatch)
         } else {
             measure_prefill_with(&self.device, model, prompt_len, self.dispatch)
@@ -783,5 +852,61 @@ mod tests {
         // paper's primary device needs 2 sessions and must run there.
         let fit = b.fits(ModelId::Qwen1_5B, 32, 8192).unwrap();
         assert!(fit.sessions > 1, "{fit:?}");
+    }
+
+    // -----------------------------------------------------------------
+    // The weight-streaming backend and the session cap.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn streamed_backend_matches_streaming_measure_bit_for_bit() {
+        use crate::pipeline::measure_decode_streaming_with;
+        let device = DeviceProfile::v73();
+        let b = NpuSimBackend::streamed(device.clone());
+        assert_eq!(b.name(), "Ours (streamed)");
+        let via_trait = b.decode(ModelId::Qwen7B, 8, 1024).unwrap();
+        let direct = measure_decode_streaming_with(
+            &device,
+            ModelId::Qwen7B,
+            8,
+            1024,
+            DispatchMode::Overlapped,
+        )
+        .unwrap();
+        assert_eq!(via_trait.step_secs, direct.step_secs);
+        assert_eq!(via_trait.tokens_per_sec, direct.tokens_per_sec);
+        assert_eq!(via_trait.engine_secs, direct.engine_secs);
+        // The streaming placement collapses the 7B's 3 resident sessions
+        // on the 8 Gen 2 to a single one, and fits() reports the same.
+        assert_eq!(via_trait.sessions, 1);
+        let fit = b.fits(ModelId::Qwen7B, 8, 1024).unwrap();
+        assert_eq!(fit.sessions, 1);
+        let resident = NpuSimBackend::overlapped(device);
+        assert_eq!(resident.fits(ModelId::Qwen7B, 8, 1024).unwrap().sessions, 3);
+    }
+
+    #[test]
+    fn session_cap_gates_resident_but_streaming_still_runs() {
+        // Qwen-7B at batch 8 / ctx 8192 on the 8 Gen 2: the resident plan
+        // needs more sessions than the rpcmem driver exposes, so both the
+        // probe and the measurement reject it — while the streaming
+        // placement stays under the cap and decodes.
+        let device = DeviceProfile::v73();
+        let resident = NpuSimBackend::overlapped(device.clone());
+        let streamed = NpuSimBackend::streamed(device.clone());
+        let fit_err = resident.fits(ModelId::Qwen7B, 8, 8192).unwrap_err();
+        assert!(matches!(fit_err, SimError::Unsupported { .. }), "{fit_err}");
+        assert!(resident.decode(ModelId::Qwen7B, 8, 8192).is_err());
+        let fit = streamed.fits(ModelId::Qwen7B, 8, 8192).unwrap();
+        assert!(fit.sessions <= device.max_sessions, "{fit:?}");
+        let point = streamed.decode(ModelId::Qwen7B, 8, 8192).unwrap();
+        assert_eq!(point.sessions, fit.sessions);
+        assert!(point.tokens_per_sec > 0.2, "{}", point.tokens_per_sec);
+        // The cap is inclusive: the resident 7B batch-16 plan lands on
+        // exactly max_sessions and must keep running.
+        let at_cap = NpuSimBackend::new(device.clone());
+        let fit = at_cap.fits(ModelId::Qwen7B, 16, 1024).unwrap();
+        assert_eq!(fit.sessions, device.max_sessions);
+        assert!(at_cap.decode(ModelId::Qwen7B, 16, 1024).is_ok());
     }
 }

@@ -4,10 +4,10 @@
 //! FastRPC, then switches to a shared-memory command channel: the CPU
 //! writes a request descriptor into rpcmem, cleans the cache (one-way
 //! coherence), and an NPU-side thread polls the region for work. Responses
-//! flow back without maintenance because NPU writes are CPU-visible. This
-//! module reproduces that protocol over [`hexsim::shared::SharedBuffer`],
-//! including the failure mode the strict coherence model catches: skipping
-//! `cache_clean` delivers stale descriptors.
+//! flow back without maintenance because NPU writes are CPU-visible. That
+//! protocol is implemented in [`hexsim::ring`] (the layer walk drives one
+//! [`NpuSession`] descriptor per dispatched op, so transport and cost model
+//! share a single code path) and re-exported here for runtime callers.
 //!
 //! `MultiSession` implements the paper's sketched workaround (Section 8)
 //! for the 32-bit per-session VA limit: weights spread across several
@@ -55,201 +55,14 @@
 //! }
 //! ```
 
-use hexsim::cost::Engine;
 use hexsim::prelude::*;
 use serde::{Deserialize, Serialize};
 
 pub use edgellm::decode_session::{DecodeSession, FinishedSeq, SeqId};
-
-/// Command opcodes the CPU can enqueue.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum OpCode {
-    /// No operation (used for liveness checks).
-    Nop,
-    /// Matrix multiply with streamed dequantization.
-    MatMul,
-    /// FlashAttention over a KV range.
-    Attention,
-    /// RMSNorm / RoPE / activation (grouped as "misc").
-    Misc,
-}
-
-/// A command descriptor as written into the shared ring.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Request {
-    /// Monotonic sequence number.
-    pub seq: u32,
-    /// Operation.
-    pub op: OpCode,
-    /// Opaque argument word (tensor handle, length, ...).
-    pub arg: u32,
-}
-
-const REQ_BYTES: usize = 12;
-const RING_SLOTS: usize = 64;
-const HDR_BYTES: usize = 8; // head (u32) + tail (u32).
-
-fn encode(req: &Request) -> [u8; REQ_BYTES] {
-    let mut out = [0u8; REQ_BYTES];
-    out[0..4].copy_from_slice(&req.seq.to_le_bytes());
-    out[4..8].copy_from_slice(&(req.op as u32).to_le_bytes());
-    out[8..12].copy_from_slice(&req.arg.to_le_bytes());
-    out
-}
-
-fn decode(bytes: &[u8]) -> Request {
-    let seq = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    let op = match u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) {
-        0 => OpCode::Nop,
-        1 => OpCode::MatMul,
-        2 => OpCode::Attention,
-        _ => OpCode::Misc,
-    };
-    let arg = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    Request { seq, op, arg }
-}
-
-/// Session tuning knobs.
-#[derive(Clone, Copy, Debug)]
-pub struct SessionConfig {
-    /// Whether stale reads fault (strict) or return garbage (lenient).
-    pub strict_coherence: bool,
-    /// One-way CPU->NPU submission latency over the polling channel,
-    /// seconds (shared-memory polling beats default FastRPC; ~10 us).
-    pub submit_latency: f64,
-    /// Completion-notification latency, seconds.
-    pub complete_latency: f64,
-    /// Double-buffered dispatch: when the CPU submitted the next request
-    /// while the current one executed (the request was already queued
-    /// when the previous dispatch finished), the NPU-side poller's
-    /// completion overhead hides behind that execution and is not charged
-    /// — the paper's Section 7.2.2 async-dispatch direction. Off by
-    /// default so every historical number reproduces.
-    ///
-    /// This is the *transport-level* knob on the explicit command ring;
-    /// the measurement pipelines model the same depth-2 ring analytically
-    /// at step level (`edgellm::overlap` schedules each layer's
-    /// `dispatch_secs` one layer ahead of its compute), because the
-    /// forward pass does not yet drive `NpuSession` per op. Unifying the
-    /// two so transport and cost model share one code path is a roadmap
-    /// item; until then this knob affects `NpuSession` charges only, not
-    /// the "Ours (async)" figures.
-    pub double_buffered: bool,
-}
-
-impl Default for SessionConfig {
-    fn default() -> Self {
-        SessionConfig {
-            strict_coherence: true,
-            submit_latency: 10e-6,
-            complete_latency: 8e-6,
-            double_buffered: false,
-        }
-    }
-}
-
-/// One CPU <-> NPU command session over shared memory.
-pub struct NpuSession {
-    ring: SharedBuffer,
-    cfg: SessionConfig,
-    next_seq: u32,
-    head: u32,
-    tail: u32,
-    /// Whether the next request to dispatch was already in the ring when
-    /// the previous dispatch finished (its descriptor prefetched into the
-    /// second buffer, so a double-buffered poller picks it up for free).
-    primed: bool,
-    /// Completed requests, in order.
-    pub completed: Vec<Request>,
-}
-
-impl NpuSession {
-    /// Opens a session: allocates the command ring and "starts" the NPU
-    /// poller (modelled synchronously; the polling thread's work is charged
-    /// per dispatch).
-    pub fn open(cfg: SessionConfig) -> Self {
-        let ring = SharedBuffer::new(1, HDR_BYTES + RING_SLOTS * REQ_BYTES, cfg.strict_coherence);
-        NpuSession {
-            ring,
-            cfg,
-            next_seq: 1,
-            head: 0,
-            tail: 0,
-            primed: false,
-            completed: Vec::new(),
-        }
-    }
-
-    /// Number of requests currently queued.
-    pub fn pending(&self) -> u32 {
-        self.head - self.tail
-    }
-
-    /// CPU side: enqueues a request descriptor. `clean` controls whether
-    /// the cache maintenance step is performed — passing `false` models the
-    /// bug the strict coherence check exists to catch.
-    pub fn submit(
-        &mut self,
-        ctx: &mut NpuContext,
-        op: OpCode,
-        arg: u32,
-        clean: bool,
-    ) -> SimResult<u32> {
-        if self.pending() as usize >= RING_SLOTS {
-            return Err(SimError::Unsupported {
-                reason: "command ring full".to_string(),
-            });
-        }
-        let req = Request {
-            seq: self.next_seq,
-            op,
-            arg,
-        };
-        self.next_seq += 1;
-        let slot = (self.head as usize) % RING_SLOTS;
-        self.ring
-            .cpu_write(HDR_BYTES + slot * REQ_BYTES, &encode(&req));
-        self.head += 1;
-        let head = self.head;
-        self.ring.cpu_write(0, &head.to_le_bytes());
-        if clean {
-            self.ring.cache_clean();
-        }
-        ctx.cost.charge_secs(Engine::Cpu, self.cfg.submit_latency);
-        Ok(req.seq)
-    }
-
-    /// NPU side: polls the ring and dispatches at most one request.
-    /// Returns the request if one was executed.
-    pub fn poll_dispatch(&mut self, ctx: &mut NpuContext) -> SimResult<Option<Request>> {
-        // The poller reads the head pointer from shared memory.
-        let head_bytes = self.ring.npu_read(0, 4)?;
-        let head = u32::from_le_bytes([head_bytes[0], head_bytes[1], head_bytes[2], head_bytes[3]]);
-        if head == self.tail {
-            return Ok(None);
-        }
-        let slot = (self.tail as usize) % RING_SLOTS;
-        let req = decode(
-            self.ring
-                .npu_read(HDR_BYTES + slot * REQ_BYTES, REQ_BYTES)?,
-        );
-        self.tail += 1;
-        // Completion: NPU writes are CPU-visible without maintenance.
-        let tail = self.tail;
-        self.ring.npu_write(4, &tail.to_le_bytes());
-        // A double-buffered ring hides the poller's completion overhead
-        // for requests that were already queued while the previous one
-        // executed (the CPU submitted layer N+1 during layer N); only the
-        // pipeline-fill dispatch pays it.
-        if !(self.cfg.double_buffered && self.primed) {
-            ctx.cost
-                .charge_secs(Engine::Scalar, self.cfg.complete_latency);
-        }
-        self.primed = head != self.tail;
-        self.completed.push(req);
-        Ok(Some(req))
-    }
-}
+// The command-ring transport lives in the device substrate (`hexsim::ring`)
+// since `edgellm`'s layer walk started driving it per dispatched op; the
+// types are re-exported here so runtime code keeps one import path.
+pub use hexsim::ring::{NpuSession, OpCode, Request, SessionConfig};
 
 /// Multiple NPU sessions splitting a weight set across VA spaces — the
 /// paper's Section 8 workaround for models that exceed one session's
@@ -368,6 +181,22 @@ pub struct ShardPlan {
     pub session_bytes: Vec<u64>,
     /// CPU seconds charged per session switch during execution.
     pub switch_secs: f64,
+    /// Ascending indices of cold layers whose weights live in the DDR
+    /// staging region and stream through the double-buffered window;
+    /// empty for fully resident plans (the historical layout).
+    #[serde(default)]
+    pub streamed: Vec<usize>,
+    /// Weight bytes fetched per streamed layer.
+    #[serde(default)]
+    pub stream_layer_bytes: u64,
+    /// Session-resident bytes of the double-buffered streaming window
+    /// (two cold-layer slots); zero for resident plans.
+    #[serde(default)]
+    pub window_bytes: u64,
+    /// Bytes parked in the CPU-owned DDR staging region (cold weights);
+    /// zero for resident plans.
+    #[serde(default)]
+    pub staged_bytes: u64,
 }
 
 impl ShardPlan {
@@ -413,6 +242,80 @@ impl ShardPlan {
             bytes,
             session_bytes: ms.mapped.clone(),
             switch_secs: SESSION_SWITCH_SECS,
+            streamed: Vec::new(),
+            stream_layer_bytes: 0,
+            window_bytes: 0,
+            staged_bytes: 0,
+        })
+    }
+
+    /// Plans a *streaming* decode deployment: hot layers (the first and
+    /// last, whose weights sandwich the CPU embedding / lm_head work)
+    /// stay session-resident, while the cold middle layers park their
+    /// weights in the CPU-owned DDR staging region and stream through a
+    /// double-buffered window of two cold-layer slots. Every layer's KV
+    /// slice stays session-resident — attention reads it every step, and
+    /// it is written in place. The result needs far fewer sessions than
+    /// [`ShardPlan::build`] (weights dominate KV at decode batch sizes)
+    /// and can map models whose resident footprint exceeds the whole
+    /// session envelope.
+    pub fn build_streaming(
+        cfg: &edgellm::config::ModelConfig,
+        va_per_session: u64,
+        batch: usize,
+        ctx_len: usize,
+    ) -> SimResult<Self> {
+        Self::build_streaming_with_kv_budget(cfg, va_per_session, batch * (ctx_len + 2))
+    }
+
+    /// Plans a streaming deployment at an explicit total KV token budget.
+    pub fn build_streaming_with_kv_budget(
+        cfg: &edgellm::config::ModelConfig,
+        va_per_session: u64,
+        kv_budget: usize,
+    ) -> SimResult<Self> {
+        if cfg.layers < 3 {
+            // Nothing between the hot first and last layer to stream.
+            return Self::build_with_kv_budget(cfg, va_per_session, kv_budget);
+        }
+        let weight_bytes = cfg.npu_layer_weight_bytes();
+        let kv_bytes = cfg.kv_cache_layer_bytes(kv_budget);
+        let window_bytes = 2 * weight_bytes;
+        let mut ms = MultiSession::new(va_per_session);
+        // The window maps first so it shares session 0 with the entry
+        // layer's weights — fetches and the walk start in one session.
+        ms.map(window_bytes)?;
+        let mut shards: Vec<LayerShard> = Vec::new();
+        let mut bytes = window_bytes;
+        for layer in 0..cfg.layers {
+            let hot = layer == 0 || layer == cfg.layers - 1;
+            let unit = if hot {
+                weight_bytes + kv_bytes
+            } else {
+                kv_bytes
+            };
+            let session = ms.map(unit)?;
+            bytes += unit;
+            match shards.last_mut() {
+                Some(shard) if shard.session == session => shard.end = layer + 1,
+                _ => shards.push(LayerShard {
+                    session,
+                    start: layer,
+                    end: layer + 1,
+                }),
+            }
+        }
+        let streamed: Vec<usize> = (1..cfg.layers - 1).collect();
+        let staged_bytes = streamed.len() as u64 * weight_bytes;
+        Ok(ShardPlan {
+            shards,
+            bytes,
+            session_bytes: ms.mapped.clone(),
+            switch_secs: SESSION_SWITCH_SECS,
+            streamed,
+            stream_layer_bytes: weight_bytes,
+            window_bytes,
+            staged_bytes,
         })
     }
 
@@ -438,7 +341,14 @@ impl ShardPlan {
         edgellm::model::LayerSchedule {
             boundaries: self.boundaries(),
             switch_secs: self.switch_secs,
+            streamed: self.streamed.clone(),
+            stream_layer_bytes: self.stream_layer_bytes,
         }
+    }
+
+    /// Whether cold layers stream from the DDR staging region.
+    pub fn is_streaming(&self) -> bool {
+        !self.streamed.is_empty()
     }
 
     /// Total session-switch seconds one full layer walk (one decode step
@@ -451,120 +361,6 @@ impl ShardPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ctx() -> NpuContext {
-        NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly)
-    }
-
-    #[test]
-    fn submit_then_poll_roundtrip() {
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        let seq = s.submit(&mut c, OpCode::MatMul, 42, true).unwrap();
-        let req = s.poll_dispatch(&mut c).unwrap().unwrap();
-        assert_eq!(req.seq, seq);
-        assert_eq!(req.op, OpCode::MatMul);
-        assert_eq!(req.arg, 42);
-        assert!(s.poll_dispatch(&mut c).unwrap().is_none());
-    }
-
-    #[test]
-    fn skipping_cache_clean_faults_in_strict_mode() {
-        // The bug class Section 6 warns about: CPU writes the descriptor
-        // but does not clean the cache before the NPU polls.
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        s.submit(&mut c, OpCode::Attention, 7, false).unwrap();
-        let err = s.poll_dispatch(&mut c).unwrap_err();
-        assert!(matches!(err, SimError::CoherenceViolation { .. }));
-    }
-
-    #[test]
-    fn requests_dispatch_in_order() {
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        for i in 0..5 {
-            s.submit(&mut c, OpCode::Misc, i, true).unwrap();
-        }
-        for i in 0..5 {
-            let req = s.poll_dispatch(&mut c).unwrap().unwrap();
-            assert_eq!(req.arg, i);
-        }
-    }
-
-    #[test]
-    fn ring_capacity_is_enforced() {
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        for i in 0..64 {
-            s.submit(&mut c, OpCode::Nop, i, true).unwrap();
-        }
-        let err = s.submit(&mut c, OpCode::Nop, 99, true).unwrap_err();
-        assert!(matches!(err, SimError::Unsupported { .. }));
-    }
-
-    #[test]
-    fn double_buffered_ring_hides_back_to_back_completion_overhead() {
-        let cfg = SessionConfig {
-            double_buffered: true,
-            ..SessionConfig::default()
-        };
-        // A burst of 8 requests submitted ahead (layer N+1 queued while N
-        // executes): only the pipeline-fill dispatch pays the poller's
-        // completion overhead.
-        let mut c = ctx();
-        let mut s = NpuSession::open(cfg);
-        for i in 0..8 {
-            s.submit(&mut c, OpCode::MatMul, i, true).unwrap();
-        }
-        let before = c.cost.engine_secs(Engine::Scalar);
-        for _ in 0..8 {
-            s.poll_dispatch(&mut c).unwrap().unwrap();
-        }
-        let charged = c.cost.engine_secs(Engine::Scalar) - before;
-        assert!(
-            (charged - cfg.complete_latency).abs() < 1e-15,
-            "burst of 8 must pay one completion: {charged}"
-        );
-
-        // Strictly alternating submit/poll gives the poller nothing to
-        // prefetch — no lookahead, no overlap, full serial charges.
-        let mut c2 = ctx();
-        let mut s2 = NpuSession::open(cfg);
-        let before = c2.cost.engine_secs(Engine::Scalar);
-        for i in 0..8 {
-            s2.submit(&mut c2, OpCode::MatMul, i, true).unwrap();
-            s2.poll_dispatch(&mut c2).unwrap().unwrap();
-        }
-        let charged = c2.cost.engine_secs(Engine::Scalar) - before;
-        assert!((charged - 8.0 * cfg.complete_latency).abs() < 1e-15);
-    }
-
-    #[test]
-    fn serial_ring_charges_are_unchanged_by_default() {
-        // The knob off reproduces the historical accounting exactly,
-        // even for a submitted-ahead burst.
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        for i in 0..8 {
-            s.submit(&mut c, OpCode::MatMul, i, true).unwrap();
-        }
-        let before = c.cost.engine_secs(Engine::Scalar);
-        for _ in 0..8 {
-            s.poll_dispatch(&mut c).unwrap().unwrap();
-        }
-        let charged = c.cost.engine_secs(Engine::Scalar) - before;
-        let expect = 8.0 * SessionConfig::default().complete_latency;
-        assert!((charged - expect).abs() < 1e-15);
-    }
-
-    #[test]
-    fn submission_charges_cpu_time() {
-        let mut c = ctx();
-        let mut s = NpuSession::open(SessionConfig::default());
-        s.submit(&mut c, OpCode::Nop, 0, true).unwrap();
-        assert!(c.cost.engine_secs(Engine::Cpu) >= 10e-6);
-    }
 
     fn plan(id: edgellm::config::ModelId, device: &DeviceProfile) -> ShardPlan {
         let cfg = edgellm::config::ModelConfig::for_id(id);
@@ -613,6 +409,56 @@ mod tests {
         assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v75()).sessions(), 2);
         assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v79()).sessions(), 2);
         assert_eq!(plan(ModelId::Qwen7B, &DeviceProfile::v73()).sessions(), 3);
+    }
+
+    #[test]
+    fn streaming_plan_collapses_qwen7b_to_one_v73_session() {
+        use edgellm::config::{ModelConfig, ModelId};
+        let cfg = ModelConfig::for_id(ModelId::Qwen7B);
+        let va = DeviceProfile::v73().session_va_bytes;
+        // Resident: three sessions on the 8 Gen 2 (the pinned deployment).
+        assert_eq!(ShardPlan::build(&cfg, va, 8, 1024).unwrap().sessions(), 3);
+        // Streaming: hot first/last layers + window + all KV fit one.
+        let p = ShardPlan::build_streaming(&cfg, va, 8, 1024).unwrap();
+        assert_eq!(p.sessions(), 1);
+        assert!(p.is_streaming());
+        let cold: Vec<usize> = (1..cfg.layers - 1).collect();
+        assert_eq!(p.streamed, cold);
+        assert_eq!(p.stream_layer_bytes, cfg.npu_layer_weight_bytes());
+        assert_eq!(p.window_bytes, 2 * cfg.npu_layer_weight_bytes());
+        assert_eq!(p.staged_bytes, 26 * cfg.npu_layer_weight_bytes());
+        // Device-resident bytes: 2 hot layers + window + every KV slice.
+        let kv = cfg.kv_cache_layer_bytes(8 * 1026);
+        let expect = 4 * cfg.npu_layer_weight_bytes() + 28 * kv;
+        assert_eq!(p.bytes, expect);
+        // The schedule carries the streaming fields to the layer walk.
+        let schedule = p.schedule();
+        assert_eq!(schedule.streamed.len(), 26);
+        assert_eq!(schedule.stream_layer_bytes, p.stream_layer_bytes);
+    }
+
+    #[test]
+    fn resident_plans_carry_no_streaming_fields() {
+        use edgellm::config::ModelId;
+        let p = plan(ModelId::Qwen7B, &DeviceProfile::v73());
+        assert!(!p.is_streaming());
+        assert_eq!(p.staged_bytes, 0);
+        assert_eq!(p.window_bytes, 0);
+        assert!(p.schedule().streamed.is_empty());
+    }
+
+    #[test]
+    fn streaming_fits_kv_heavy_configs_under_the_session_cap() {
+        use edgellm::config::{ModelConfig, ModelId};
+        // Qwen-7B at 8K context on the 8 Gen 2: the resident plan wants
+        // more sessions than the device can open, the streaming plan
+        // stays under the cap.
+        let cfg = ModelConfig::for_id(ModelId::Qwen7B);
+        let dev = DeviceProfile::v73();
+        let resident = ShardPlan::build(&cfg, dev.session_va_bytes, 8, 8192).unwrap();
+        assert!(resident.sessions() > dev.max_sessions);
+        let streaming = ShardPlan::build_streaming(&cfg, dev.session_va_bytes, 8, 8192).unwrap();
+        assert!(streaming.sessions() <= dev.max_sessions);
     }
 
     #[test]

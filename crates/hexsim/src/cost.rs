@@ -333,6 +333,18 @@ impl CostModel {
         self.engine_secs[Engine::Dma.idx()] += bytes as f64 / self.device.dma_bw;
     }
 
+    /// Charges a whole-layer weight stream of `bytes` from the CPU-owned
+    /// DDR staging region into the session window, at the device's
+    /// sustained (compute-contended) streaming bandwidth — slower than the
+    /// idle [`CostModel::charge_dma`] rate. Returns the charged seconds so
+    /// the caller can record the fetch as an overlap-schedulable stage.
+    pub fn charge_ddr_stream(&mut self, bytes: u64) -> f64 {
+        self.counters.dma_bytes += bytes;
+        let secs = bytes as f64 / self.device.ddr_stream_bw;
+        self.engine_secs[Engine::Dma.idx()] += secs;
+        secs
+    }
+
     /// Charges an `l2fetch` prefetch of `bytes` from DDR into L2.
     pub fn charge_l2fetch(&mut self, bytes: u64) {
         self.counters.l2fetch_bytes += bytes;
@@ -458,6 +470,17 @@ mod tests {
         m.charge_dma(60_000_000_000); // 1 s at 60 GB/s.
         assert!((m.engine_secs(Engine::Dma) - 1.0).abs() < 1e-9);
         assert_eq!(m.counters().dma_bytes, 60_000_000_000);
+    }
+
+    #[test]
+    fn ddr_stream_time_matches_sustained_bandwidth() {
+        let mut m = model();
+        // 1 s at the V75 sustained streaming rate (45 GB/s, below the
+        // 60 GB/s idle DMA rate).
+        let secs = m.charge_ddr_stream(45_000_000_000);
+        assert!((secs - 1.0).abs() < 1e-9);
+        assert!((m.engine_secs(Engine::Dma) - 1.0).abs() < 1e-9);
+        assert_eq!(m.counters().dma_bytes, 45_000_000_000);
     }
 
     #[test]

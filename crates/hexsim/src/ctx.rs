@@ -48,6 +48,9 @@ pub struct NpuContext {
     tcm: Vec<u8>,
     tcm_top: u32,
     ddr: DdrHeap,
+    /// When set, DDR allocations land in the CPU-owned staging region
+    /// instead of session VA (see [`NpuContext::set_ddr_staging`]).
+    ddr_staging: bool,
 }
 
 impl NpuContext {
@@ -77,6 +80,7 @@ impl NpuContext {
             tcm,
             tcm_top: 0,
             ddr,
+            ddr_staging: false,
         }
     }
 
@@ -144,8 +148,19 @@ impl NpuContext {
 
     /// Allocates a DDR buffer (zeroed when materialized). In
     /// [`ExecMode::CostOnly`] only the size is tracked.
+    ///
+    /// While [`NpuContext::set_ddr_staging`] is on, the buffer lands in the
+    /// CPU-owned staging region instead of session VA: it consumes no
+    /// session space (and cannot fail the VA envelope), but the NPU only
+    /// sees its contents after an explicit streamed copy into a
+    /// session-resident window.
     pub fn ddr_alloc(&mut self, bytes: u64) -> SimResult<DdrBuffer> {
-        self.ddr.alloc(bytes, self.mode == ExecMode::Functional)
+        let materialize = self.mode == ExecMode::Functional;
+        if self.ddr_staging {
+            Ok(self.ddr.alloc_staged(bytes, materialize))
+        } else {
+            self.ddr.alloc(bytes, materialize)
+        }
     }
 
     /// Allocates a DDR buffer initialized with `data` (functional mode) or
@@ -163,9 +178,23 @@ impl NpuContext {
         self.ddr.free(buf);
     }
 
+    /// Routes subsequent [`NpuContext::ddr_alloc`] /
+    /// [`NpuContext::ddr_alloc_from`] calls to the CPU-owned DDR staging
+    /// region (`true`) or back to session VA (`false`). The weight loader
+    /// flips this around cold-layer builds so streamed weights never count
+    /// against the session envelope.
+    pub fn set_ddr_staging(&mut self, staging: bool) {
+        self.ddr_staging = staging;
+    }
+
     /// Bytes currently mapped across all session VA spaces.
     pub fn ddr_mapped_bytes(&self) -> u64 {
         self.ddr.mapped_bytes
+    }
+
+    /// Bytes currently parked in the CPU-owned DDR staging region.
+    pub fn ddr_staged_bytes(&self) -> u64 {
+        self.ddr.staged_bytes
     }
 
     /// Number of NPU sessions currently open (1 unless the context was
@@ -818,6 +847,28 @@ mod tests {
         // The cap still holds: a third large mapping has nowhere to go.
         let err = c.ddr_alloc(1_500_000_000).unwrap_err();
         assert!(matches!(err, SimError::VaSpaceExceeded { .. }));
+    }
+
+    #[test]
+    fn staging_toggle_routes_allocations_outside_session_va() {
+        let mut c = NpuContext::new(DeviceProfile::v73(), ExecMode::CostOnly);
+        c.ddr_alloc(1_700_000_000).unwrap();
+        // The same second mapping that overflows the session above maps
+        // fine as staging, and the functional data path still works.
+        c.set_ddr_staging(true);
+        let staged = c.ddr_alloc(1_000_000_000).unwrap();
+        c.set_ddr_staging(false);
+        assert_eq!(c.ddr_staged_bytes(), 1_000_000_000);
+        assert_eq!(c.ddr_mapped_bytes(), 1_700_000_000);
+        c.ddr_free(staged);
+        assert_eq!(c.ddr_staged_bytes(), 0);
+
+        let mut f = ctx();
+        f.set_ddr_staging(true);
+        let buf = f.ddr_alloc_from(&[9, 8, 7, 6]).unwrap();
+        f.set_ddr_staging(false);
+        assert_eq!(f.ddr_read(buf, 0, 4), vec![9, 8, 7, 6]);
+        assert_eq!(f.ddr_mapped_bytes(), 0);
     }
 
     #[test]

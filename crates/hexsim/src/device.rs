@@ -67,6 +67,12 @@ pub struct DeviceProfile {
 
     /// DMA read bandwidth from DDR in bytes/s (Table 2: ~60 GB/s).
     pub dma_bw: f64,
+    /// Sustained DDR weight-streaming bandwidth in bytes/s: whole-layer
+    /// fetches from the CPU-owned staging region into the session window
+    /// while NPU kernels run. Lower than `dma_bw` because the stream
+    /// contends with the kernels' own DDR traffic (activations, KV) on the
+    /// shared LPDDR controller; modeled at 75% of the idle DMA rate.
+    pub ddr_stream_bw: f64,
     /// `l2fetch` bandwidth from DDR into L2 in bytes/s (20-30 GB/s, Fig. 3).
     pub l2fetch_bw: f64,
     /// HVX core-path load bandwidth in bytes/s (Table 2: < 30 GB/s; 26
@@ -97,6 +103,11 @@ pub struct DeviceProfile {
     /// devices expose a 2 GiB limit that prevents 3B+ models from running
     /// (Figure 11 note); newer ones the full 32-bit space.
     pub session_va_bytes: u64,
+    /// Maximum concurrently mapped NPU sessions the runtime can hold open
+    /// (FastRPC handles + dmabuf registrations). Multi-session sharding
+    /// (Section 8) spends one per shard, so a model whose resident plan
+    /// needs more sessions than this is unfittable without streaming.
+    pub max_sessions: usize,
 
     /// Idle (base) SoC power draw during inference in watts, used by the
     /// activity-based power model (Figure 12 calibration).
@@ -131,6 +142,7 @@ impl DeviceProfile {
             hmx_flops: 8.2e12,
             hvx_thread_gemm_flops: 26.0e9,
             dma_bw: 49.0e9,
+            ddr_stream_bw: 36.75e9,
             l2fetch_bw: 20.0e9,
             hvx_load_bw: 21.0e9,
             tcm_bw: 110.0e9,
@@ -143,6 +155,7 @@ impl DeviceProfile {
             // regions, so 3B+ models cannot map their weights (Figure 11
             // excludes them on 8G2).
             session_va_bytes: 1_900_000_000,
+            max_sessions: 4,
             base_power_w: 2.1,
             hvx_power_w: 1.1,
             hmx_power_w: 0.9,
@@ -169,6 +182,7 @@ impl DeviceProfile {
             hvx_thread_gemm_flops: 32.93e9,
             // Table 2: ~60 GB/s DMA read from DDR.
             dma_bw: 60.0e9,
+            ddr_stream_bw: 45.0e9,
             l2fetch_bw: 25.0e9,
             // Table 2: 26 GB/s HVX core-path read.
             hvx_load_bw: 26.0e9,
@@ -180,6 +194,7 @@ impl DeviceProfile {
             vgather_packets_max: 48,
             ieee_fp16_native: false,
             session_va_bytes: 4 * 1024 * 1024 * 1024 - 4096,
+            max_sessions: 4,
             base_power_w: 2.2,
             hvx_power_w: 1.2,
             hmx_power_w: 1.0,
@@ -203,6 +218,7 @@ impl DeviceProfile {
             hmx_flops: 15.5e12,
             hvx_thread_gemm_flops: 41.0e9,
             dma_bw: 72.0e9,
+            ddr_stream_bw: 54.0e9,
             l2fetch_bw: 30.0e9,
             hvx_load_bw: 30.0e9,
             tcm_bw: 160.0e9,
@@ -212,6 +228,7 @@ impl DeviceProfile {
             vgather_packets_max: 44,
             ieee_fp16_native: true,
             session_va_bytes: 4 * 1024 * 1024 * 1024 - 4096,
+            max_sessions: 4,
             base_power_w: 2.15,
             hvx_power_w: 1.25,
             hmx_power_w: 1.05,

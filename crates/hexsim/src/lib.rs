@@ -41,6 +41,7 @@ pub mod f16;
 pub mod hmx;
 pub mod hvx;
 pub mod mem;
+pub mod ring;
 pub mod shared;
 pub mod timeline;
 
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::hmx::{HmxAccumulator, TILE_BYTES, TILE_DIM};
     pub use crate::hvx::{HvxVec, HVX_BYTES, HVX_HALVES, HVX_WORDS};
     pub use crate::mem::{DdrBuffer, TcmAddr};
+    pub use crate::ring::{NpuSession, OpCode, Request, SessionConfig};
     pub use crate::shared::SharedBuffer;
     pub use crate::timeline::{TaskId, Timeline};
 }

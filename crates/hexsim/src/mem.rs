@@ -30,11 +30,18 @@ pub struct DdrBuffer(pub u64);
 
 pub(crate) struct DdrBufferState {
     pub size: u64,
-    /// Session VA space this allocation is mapped into.
+    /// Session VA space this allocation is mapped into, or
+    /// [`STAGING_SESSION`] for CPU-owned staging allocations that live
+    /// outside every NPU session's VA space.
     pub session: usize,
     /// Backing bytes; `None` in cost-only mode (shape-level simulation).
     pub data: Option<Vec<u8>>,
 }
+
+/// Sentinel session label for staging allocations: DDR that the CPU owns
+/// and the NPU reaches only through explicit streamed copies, so it does
+/// not consume any session's VA space.
+pub(crate) const STAGING_SESSION: usize = usize::MAX;
 
 /// Heap of DDR allocations with session VA-space accounting.
 ///
@@ -58,6 +65,8 @@ pub(crate) struct DdrHeap {
     buffers: HashMap<u64, DdrBufferState>,
     next_id: u64,
     pub mapped_bytes: u64,
+    /// Bytes in the CPU-owned staging region (outside every session's VA).
+    pub staged_bytes: u64,
     /// VA capacity of each session (32-bit space minus reserved regions).
     pub va_per_session: u64,
     /// Maximum number of sessions this heap may open.
@@ -73,6 +82,7 @@ impl DdrHeap {
             buffers: HashMap::new(),
             next_id: 1,
             mapped_bytes: 0,
+            staged_bytes: 0,
             va_per_session,
             max_sessions,
             session_used: vec![0],
@@ -148,10 +158,38 @@ impl DdrHeap {
         Ok(DdrBuffer(id))
     }
 
+    /// Allocates in the CPU-owned staging region: no session VA is
+    /// consumed, so the envelope checks of [`DdrHeap::place`] do not apply.
+    /// The weight-streaming path parks cold layers here and copies each
+    /// into a small session-resident window right before its layer runs.
+    pub fn alloc_staged(&mut self, size: u64, materialize: bool) -> DdrBuffer {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.staged_bytes += size;
+        let data = if materialize {
+            Some(vec![0u8; size as usize])
+        } else {
+            None
+        };
+        self.buffers.insert(
+            id,
+            DdrBufferState {
+                size,
+                session: STAGING_SESSION,
+                data,
+            },
+        );
+        DdrBuffer(id)
+    }
+
     pub fn free(&mut self, buf: DdrBuffer) {
         if let Some(state) = self.buffers.remove(&buf.0) {
-            self.mapped_bytes -= state.size;
-            self.session_used[state.session] -= state.size;
+            if state.session == STAGING_SESSION {
+                self.staged_bytes -= state.size;
+            } else {
+                self.mapped_bytes -= state.size;
+                self.session_used[state.session] -= state.size;
+            }
         }
     }
 
@@ -255,6 +293,23 @@ mod tests {
             heap.alloc(1, false).unwrap_err(),
             SimError::VaSpaceExceeded { .. }
         ));
+    }
+
+    #[test]
+    fn staged_allocations_bypass_the_session_envelope() {
+        let mut heap = DdrHeap::with_sessions(1000, 1);
+        heap.alloc(900, false).unwrap();
+        // 5000 bytes would overflow the session envelope five times over,
+        // but the staging region is CPU memory with no VA constraint.
+        let staged = heap.alloc_staged(5000, true);
+        assert_eq!(heap.staged_bytes, 5000);
+        assert_eq!(heap.mapped_bytes, 900);
+        assert_eq!(heap.sessions(), 1);
+        assert_eq!(heap.get(staged).session, STAGING_SESSION);
+        assert_eq!(heap.get(staged).data.as_ref().unwrap().len(), 5000);
+        heap.free(staged);
+        assert_eq!(heap.staged_bytes, 0);
+        assert_eq!(heap.mapped_bytes, 900);
     }
 
     #[test]

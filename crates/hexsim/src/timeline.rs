@@ -10,7 +10,11 @@
 //! overlaps independent work across engines (paper Section 7.2.2: the CPU
 //! lm_head of token *t* runs while the NPU computes the first layers of
 //! token *t+1*; DMA hides behind compute; session switches hide behind the
-//! previous shard's tail kernels).
+//! previous shard's tail kernels). The weight-streaming hierarchy adds a
+//! dedicated *DMA prefetch lane*: cold layers' DDR weight fetches are
+//! submitted there with finish-to-start edges into the next layer's
+//! kernels, so a fetch overlaps the previous layer's compute and only its
+//! exposed remainder lengthens the step.
 //!
 //! The scheduler is intentionally simple and fully deterministic:
 //!

@@ -63,6 +63,8 @@ pub fn softmax_rows(
 
             // Pass 2: exp(x - m), FP32 sum accumulation.
             let mut sum = 0.0f64;
+            let mut lanes = [F16::ZERO; HVX_HALVES];
+            let mut lanes_f32 = [0.0f32; HVX_HALVES];
             for i in 0..regs_per_row {
                 let addr = row.offset((i * HVX_BYTES) as u32);
                 let v = ctx.vmem_ld_tcm(addr);
@@ -72,8 +74,14 @@ pub fn softmax_rows(
                 // FP32 accumulation of the row sum (widen + two adds).
                 let (_lo, _hi) = ctx.vcvt_hf_sf(&e);
                 ctx.cost.charge_hvx_packets(2);
-                for lane in 0..HVX_HALVES {
-                    sum += e.get_hf(lane).to_f32() as f64;
+                // Host-side sum: chunked lane conversion (bit-identical to
+                // per-lane `to_f32`), then accumulate in lane order.
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    *slot = e.get_hf(lane);
+                }
+                F16::to_f32_slice(&lanes, &mut lanes_f32);
+                for &x in &lanes_f32 {
+                    sum += x as f64;
                 }
                 ctx.vmem_st_tcm(addr, &e);
             }
@@ -114,16 +122,22 @@ pub fn softmax_host(
     let data = ctx
         .tcm_alloc((cfg.rows * cfg.cols * 2) as u32, 128)
         .expect("softmax workload must fit in TCM");
+    // Chunked staging/readback (bit-identical to per-element from_f32 /
+    // to_f32): the row matrix is the largest host-touched buffer on the
+    // attention path, so it gets the same treatment as the lm_head slices.
+    let halves = F16::vec_from_f32(input);
     let mut bytes = vec![0u8; cfg.rows * cfg.cols * 2];
-    for (i, &x) in input.iter().enumerate() {
-        bytes[2 * i..2 * i + 2].copy_from_slice(&F16::from_f32(x).0.to_le_bytes());
+    for (b, h) in bytes.chunks_exact_mut(2).zip(&halves) {
+        b.copy_from_slice(&h.0.to_le_bytes());
     }
     ctx.tcm_poke(data, &bytes);
     let cost = softmax_rows(ctx, lut, cfg, data);
     let out_bytes = ctx.tcm_peek(data, cfg.rows * cfg.cols * 2).to_vec();
-    let out = (0..cfg.rows * cfg.cols)
-        .map(|i| F16(u16::from_le_bytes([out_bytes[2 * i], out_bytes[2 * i + 1]])).to_f32())
+    let out_halves: Vec<F16> = out_bytes
+        .chunks_exact(2)
+        .map(|b| F16(u16::from_le_bytes([b[0], b[1]])))
         .collect();
+    let out = F16::vec_to_f32(&out_halves);
     ctx.tcm_release(mark);
     (out, cost)
 }
@@ -242,6 +256,70 @@ mod tests {
         let t16k = t(&mut c, 1, 16384);
         assert!((t4 / t1 - 4.0).abs() < 0.2, "row scaling {}", t4 / t1);
         assert!(t16k / t1 > 12.0, "col scaling {}", t16k / t1);
+    }
+
+    #[test]
+    fn lane_sum_is_bit_identical_across_all_f16_patterns() {
+        // Pass 2's host-side row sum now converts lanes through the
+        // chunked slice converter. Exhaustively pack every one of the
+        // 65536 f16 bit patterns (including NaNs, infinities and
+        // subnormals) into vectors and check the chunked sum reproduces
+        // the per-lane `get_hf().to_f32()` sum bit-for-bit.
+        use hexsim::hvx::HvxVec;
+        for block in 0..(1usize << 16) / HVX_HALVES {
+            let mut v = HvxVec::zero();
+            for lane in 0..HVX_HALVES {
+                v.set_hf(lane, F16((block * HVX_HALVES + lane) as u16));
+            }
+            let mut reference = 0.0f64;
+            for lane in 0..HVX_HALVES {
+                reference += v.get_hf(lane).to_f32() as f64;
+            }
+            let mut lanes = [F16::ZERO; HVX_HALVES];
+            let mut lanes_f32 = [0.0f32; HVX_HALVES];
+            for (lane, slot) in lanes.iter_mut().enumerate() {
+                *slot = v.get_hf(lane);
+            }
+            F16::to_f32_slice(&lanes, &mut lanes_f32);
+            let mut chunked = 0.0f64;
+            for &x in &lanes_f32 {
+                chunked += x as f64;
+            }
+            assert_eq!(reference.to_bits(), chunked.to_bits(), "block {block}");
+        }
+    }
+
+    #[test]
+    fn chunked_host_staging_is_bit_identical_to_elementwise() {
+        // softmax_host stages/reads back through the chunked converters;
+        // an elementwise-staged run of the same kernel must produce
+        // bit-identical outputs (the converters only change loop shape).
+        let mut c = ctx();
+        let lut = ExpLut16::build(&mut c).unwrap();
+        let cfg = SoftmaxConfig {
+            rows: 3,
+            cols: 192,
+            method: ExpMethod::Lut16,
+        };
+        let input = workload(3, 192, 13);
+        let (got, _) = softmax_host(&mut c, &lut, cfg, &input);
+        let mark = c.tcm_mark();
+        let data = c.tcm_alloc((3 * 192 * 2) as u32, 128).unwrap();
+        let mut bytes = vec![0u8; 3 * 192 * 2];
+        for (i, &x) in input.iter().enumerate() {
+            bytes[2 * i..2 * i + 2].copy_from_slice(&F16::from_f32(x).0.to_le_bytes());
+        }
+        c.tcm_poke(data, &bytes);
+        softmax_rows(&mut c, &lut, cfg, data);
+        let out_bytes = c.tcm_peek(data, 3 * 192 * 2).to_vec();
+        let expect: Vec<f32> = (0..3 * 192)
+            .map(|i| F16(u16::from_le_bytes([out_bytes[2 * i], out_bytes[2 * i + 1]])).to_f32())
+            .collect();
+        c.tcm_release(mark);
+        assert_eq!(got.len(), expect.len());
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.to_bits(), e.to_bits(), "element {i}");
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! through the kernel crate; in cost-only mode (paper-scale models) the
 //! same code path charges identical per-shape costs via `replay`.
 
+use std::cell::RefCell;
+
 use hexsim::f16::F16;
 use hexsim::prelude::*;
 use htpops::attention::{AttnShape, FlashAttention};
@@ -24,10 +26,30 @@ use crate::kv_cache::KvCache;
 use crate::overlap::{self, DispatchMode, LayerStage, StepStages};
 use crate::weights::ModelWeights;
 
-/// NPU op submissions per transformer layer (2 norms, 3 QKV, RoPE,
-/// attention, output proj, 2 residuals, gate/up/down, SwiGLU), each paying
+/// The NPU ops one transformer layer dispatches, in submission order:
+/// 2 norms, 3 QKV projections, RoPE, attention, output projection,
+/// 2 residuals, gate/up/down projections, SwiGLU. Each op's descriptor
+/// travels the rpcmem command ring ([`hexsim::ring::NpuSession`]) and pays
 /// ring submission + cache maintenance + completion sync.
-const LAYER_DISPATCH_OPS: f64 = 14.0;
+const LAYER_OPS: [OpCode; 14] = [
+    OpCode::Misc,      // attention RMSNorm
+    OpCode::MatMul,    // Q projection
+    OpCode::MatMul,    // K projection
+    OpCode::MatMul,    // V projection
+    OpCode::Misc,      // RoPE
+    OpCode::Attention, // FlashAttention
+    OpCode::MatMul,    // output projection
+    OpCode::Misc,      // attention residual
+    OpCode::Misc,      // FFN RMSNorm
+    OpCode::MatMul,    // gate projection
+    OpCode::MatMul,    // up projection
+    OpCode::Misc,      // SwiGLU
+    OpCode::MatMul,    // down projection
+    OpCode::Misc,      // FFN residual
+];
+
+/// NPU op submissions per transformer layer (see [`LAYER_OPS`]).
+const LAYER_DISPATCH_OPS: f64 = LAYER_OPS.len() as f64;
 
 /// Wall-time cost of one model step, by operator class.
 #[derive(Clone, Copy, Debug, Default)]
@@ -43,6 +65,12 @@ pub struct StepCost {
     /// CPU-side NPU session switches (multi-session sharded execution,
     /// paper Section 8); zero for single-session deployments.
     pub switch_secs: f64,
+    /// Weight-streaming DMA seconds: whole-layer fetches from the DDR
+    /// staging region into the double-buffered session window (hot/cold
+    /// placement). Zero for fully resident plans. Serial dispatch pays
+    /// this in full; the overlapped schedule hides fetches behind other
+    /// layers' compute and charges only the exposed remainder.
+    pub stream_secs: f64,
     /// Critical-path wall seconds of the step under the overlap-aware
     /// event-timeline schedule ([`crate::overlap`], paper Section 7.2.2).
     /// Equals [`StepCost::wall_secs`] under [`DispatchMode::Serial`] (the
@@ -63,7 +91,7 @@ impl StepCost {
     /// the next shard's layers can run). The overlap-aware view of the
     /// same step is [`StepCost::overlapped_secs`].
     pub fn wall_secs(&self) -> f64 {
-        self.npu_secs() + self.cpu_secs + self.switch_secs
+        self.npu_secs() + self.cpu_secs + self.switch_secs + self.stream_secs
     }
 
     /// Accumulates another step's cost.
@@ -73,6 +101,7 @@ impl StepCost {
         self.misc_secs += other.misc_secs;
         self.cpu_secs += other.cpu_secs;
         self.switch_secs += other.switch_secs;
+        self.stream_secs += other.stream_secs;
         self.overlapped_secs += other.overlapped_secs;
     }
 }
@@ -93,6 +122,15 @@ pub struct LayerSchedule {
     /// CPU seconds to re-point command dispatch at another session's ring
     /// (FastRPC handle swap + cache maintenance on the new ring).
     pub switch_secs: f64,
+    /// Ascending indices of *cold* layers whose weights live in the DDR
+    /// staging region and stream through the double-buffered session
+    /// window (hot/cold placement). Empty (the default) means fully
+    /// resident weights — the historical path, bit-identical.
+    pub streamed: Vec<usize>,
+    /// Bytes streamed per cold layer (the layer's prepared weight
+    /// footprint). The walk converts this to seconds with the device's
+    /// DDR streaming bandwidth at charge time.
+    pub stream_layer_bytes: u64,
 }
 
 impl LayerSchedule {
@@ -115,6 +153,11 @@ impl LayerSchedule {
         } else {
             self.boundaries.len() + 1
         }
+    }
+
+    /// Whether any layer streams its weights from the DDR staging region.
+    pub fn is_streaming(&self) -> bool {
+        !self.streamed.is_empty()
     }
 }
 
@@ -159,6 +202,25 @@ pub struct Model {
     /// 7.2.2 pipelining). Set via [`Model::set_dispatch_mode`]. Only the
     /// time model changes — logits and per-engine busy totals do not.
     dispatch: DispatchMode,
+    /// The rpcmem command ring every layer's op descriptors travel
+    /// (transport protocol; the calibrated per-op cost is charged per
+    /// completed descriptor in the walk). `RefCell` because the forward
+    /// pass takes `&self` and the ring mutates per dispatch.
+    ring: RefCell<NpuSession>,
+}
+
+/// Ring configuration the layer walk dispatches through: the transport's
+/// own latency knobs are zeroed because the walk charges the *calibrated*
+/// per-op overhead ([`Model::op_dispatch_secs`], which folds submission,
+/// cache maintenance and completion into one measured 100 us figure) per
+/// descriptor the ring completes.
+fn walk_ring_config() -> SessionConfig {
+    SessionConfig {
+        strict_coherence: true,
+        submit_latency: 0.0,
+        complete_latency: 0.0,
+        double_buffered: false,
+    }
 }
 
 impl Model {
@@ -181,6 +243,38 @@ impl Model {
             op_dispatch_secs: 100e-6,
             schedule: LayerSchedule::single_session(),
             dispatch: DispatchMode::Serial,
+            ring: RefCell::new(NpuSession::open(walk_ring_config())),
+        })
+    }
+
+    /// Builds a model with the hot/cold weight split: the layers in
+    /// `streamed` (ascending) keep their weights in the CPU-owned DDR
+    /// staging region — outside the session VA envelope — and a
+    /// double-buffered window sized for two cold layers is mapped into
+    /// session VA instead. With an empty `streamed` list this is exactly
+    /// [`Model::new`]. The caller still installs the matching
+    /// [`LayerSchedule`] (with its `streamed` list) so the walk charges
+    /// the per-layer fetches.
+    pub fn new_streamed(
+        ctx: &mut NpuContext,
+        id: ModelId,
+        variant: DequantVariant,
+        seed: u64,
+        streamed: &[usize],
+    ) -> SimResult<Self> {
+        let cfg = ModelConfig::for_id(id);
+        let lut = ExpLut16::build(ctx)?;
+        let weights = ModelWeights::build_streamed(ctx, &cfg, variant, seed, streamed)?;
+        Ok(Model {
+            cfg,
+            weights,
+            lut,
+            exp_method: ExpMethod::Lut16,
+            threads: 6,
+            op_dispatch_secs: 100e-6,
+            schedule: LayerSchedule::single_session(),
+            dispatch: DispatchMode::Serial,
+            ring: RefCell::new(NpuSession::open(walk_ring_config())),
         })
     }
 
@@ -218,6 +312,13 @@ impl Model {
                 "shard boundaries must split the layer range"
             );
         }
+        assert!(
+            schedule.streamed.windows(2).all(|w| w[0] < w[1]),
+            "streamed layers must be strictly ascending"
+        );
+        if let Some(&last) = schedule.streamed.last() {
+            assert!(last < self.cfg.layers, "streamed layer out of range");
+        }
         self.schedule = schedule;
     }
 
@@ -254,12 +355,25 @@ impl Model {
         stages: &mut Vec<LayerStage>,
     ) -> SimResult<()> {
         let mut next_boundary = self.schedule.boundaries.iter().peekable();
+        let mut next_stream = self.schedule.streamed.iter().peekable();
         for layer in 0..self.cfg.layers {
             let switch_before = next_boundary.peek() == Some(&&layer);
             if switch_before {
                 next_boundary.next();
                 self.charge_session_switch(ctx, cost);
             }
+            // Cold layer: its weights stream from the DDR staging region
+            // into the session window before the kernels can run. Serial
+            // dispatch pays the fetch in full here; the overlap scheduler
+            // re-derives the exposed share from the recorded stage.
+            let weight_fetch_secs = if next_stream.peek() == Some(&&layer) {
+                next_stream.next();
+                let secs = ctx.cost.charge_ddr_stream(self.schedule.stream_layer_bytes);
+                cost.stream_secs += secs;
+                secs
+            } else {
+                0.0
+            };
             let before = *cost;
             self.layer_forward(ctx, layer, x, rows, cache, seqs, positions, prefill, cost)?;
             let dispatch_secs = LAYER_DISPATCH_OPS * self.op_dispatch_secs;
@@ -272,6 +386,7 @@ impl Model {
                 npu_secs,
                 dispatch_secs,
                 switch_before,
+                weight_fetch_secs,
             });
         }
         if self.schedule.is_sharded() {
@@ -602,8 +717,20 @@ impl Model {
         });
         cost.misc_secs += ctx.cost.delta_since(&snap, "").wall_secs;
 
-        // Per-operator dispatch overhead (see [`LAYER_DISPATCH_OPS`]).
-        let overhead = LAYER_DISPATCH_OPS * self.op_dispatch_secs;
+        // Per-operator dispatch: every op's descriptor travels the rpcmem
+        // command ring — submission, cache clean, NPU-side poll — and the
+        // calibrated per-op overhead is charged per *completed* descriptor,
+        // so streamed and resident layers share the one transport path.
+        let mut ring = self.ring.borrow_mut();
+        let mut dispatched = 0u64;
+        for &op in &LAYER_OPS {
+            ring.submit(ctx, op, layer as u32, true)?;
+            while ring.poll_dispatch(ctx)?.is_some() {
+                dispatched += 1;
+            }
+        }
+        ring.completed.clear();
+        let overhead = dispatched as f64 * self.op_dispatch_secs;
         ctx.cost.charge_secs(hexsim::cost::Engine::Scalar, overhead);
         cost.misc_secs += overhead;
         Ok(())
@@ -995,6 +1122,7 @@ mod tests {
         sharded.set_layer_schedule(LayerSchedule {
             boundaries: vec![1],
             switch_secs: 30e-6,
+            ..Default::default()
         });
         let mut cache2 = KvCache::new(&mut ctx2, &sharded.cfg, 4, 256).unwrap();
         let shard_prefill = sharded.prefill(&mut ctx2, &mut cache2, 0, &tokens).unwrap();
@@ -1017,12 +1145,67 @@ mod tests {
     }
 
     #[test]
+    fn streamed_walk_is_bit_identical_and_charges_fetches() {
+        // Hot/cold streaming is a placement + time-model change only: a
+        // walk that streams layer 1 must produce the same logits and cost
+        // exactly one DMA fetch more per pass.
+        let (mut ctx, model, mut cache) = functional_setup();
+        let tok = Tokenizer::new();
+        let tokens = tok.encode_with_bos("6+6=");
+        let base_prefill = model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
+        cache.broadcast_prompt(true);
+        let base_step = model
+            .decode_step(&mut ctx, &mut cache, &[100, 101, 102, 103])
+            .unwrap();
+
+        let mut ctx2 = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let mut streamed = Model::new_streamed(
+            &mut ctx2,
+            ModelId::Tiny,
+            DequantVariant::CoalescedLut,
+            42,
+            &[1],
+        )
+        .unwrap();
+        let bytes = 1 << 20;
+        streamed.set_layer_schedule(LayerSchedule {
+            streamed: vec![1],
+            stream_layer_bytes: bytes,
+            ..Default::default()
+        });
+        let mut cache2 = KvCache::new(&mut ctx2, &streamed.cfg, 4, 256).unwrap();
+        let s_prefill = streamed
+            .prefill(&mut ctx2, &mut cache2, 0, &tokens)
+            .unwrap();
+        cache2.broadcast_prompt(true);
+        let s_step = streamed
+            .decode_step(&mut ctx2, &mut cache2, &[100, 101, 102, 103])
+            .unwrap();
+
+        assert_eq!(base_prefill.logits, s_prefill.logits);
+        assert_eq!(base_step.logits, s_step.logits);
+        let fetch = bytes as f64 / ctx2.device().ddr_stream_bw;
+        assert!((s_step.cost.stream_secs - fetch).abs() < 1e-15);
+        assert_eq!(base_step.cost.stream_secs, 0.0);
+        assert!(
+            (s_step.cost.wall_secs() - base_step.cost.wall_secs() - fetch).abs() < 1e-9,
+            "streamed walk must cost exactly the fetch more under serial dispatch"
+        );
+        assert_eq!(s_step.stages.layers[1].weight_fetch_secs, fetch);
+        assert_eq!(s_step.stages.layers[0].weight_fetch_secs, 0.0);
+        // The cold layer's weights live in DDR staging, not session VA.
+        assert!(ctx2.ddr_staged_bytes() > 0);
+        assert!(ctx2.ddr_staged_bytes() < ctx.ddr_mapped_bytes());
+    }
+
+    #[test]
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_schedule_is_rejected() {
         let (_ctx, mut model, _cache) = functional_setup();
         model.set_layer_schedule(LayerSchedule {
             boundaries: vec![1, 1],
             switch_secs: 0.0,
+            ..Default::default()
         });
     }
 

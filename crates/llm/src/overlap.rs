@@ -27,6 +27,7 @@
 //! NPU       ────────────[L0][L1]..[Ln][norm]──────[L0][L1]... ──── ...
 //! DISPATCH  ──[d0][d1]..[dn]───[d0][d1]..            (ring depth 2)
 //! SWITCH    ─────────[sw]───────────[wrap]─────────[sw]──────────── ...
+//! DMA       ──[fetch Lj]──[fetch Lk]──....   (weight streaming only)
 //! ```
 //!
 //! Dependency edges (finish-to-start):
@@ -50,11 +51,35 @@
 //!   shard waits for the switch;
 //! - the wrap-around switch (back to shard 0) overlaps the CPU tail.
 //!
-//! DMA is not a lane here: DDR↔TCM streaming already overlaps compute
-//! *inside* each kernel via the phase model ([`hexsim::cost`] — phase wall
+//! # The DMA lane: cross-layer weight prefetch
+//!
+//! There are two distinct classes of DMA traffic. *Intra-kernel* DDR↔TCM
+//! streaming (activations, resident weight tiles) already overlaps compute
+//! inside each kernel via the phase model ([`hexsim::cost`] — phase wall
 //! time is the max over engines), so a layer's `npu_secs` is the
-//! post-overlap kernel wall time and scheduling it again would double
-//! count.
+//! post-overlap kernel wall time and scheduling that traffic again would
+//! double count. *Cross-layer weight streaming* is new with the hot/cold
+//! hierarchy: a cold layer's weights live in a DDR staging region and must
+//! be fetched into the double-buffered session window before the layer's
+//! kernels can run. That fetch is a whole-layer-sized transfer that the
+//! phase model never saw, so it gets its own [`lane::DMA`] lane here:
+//!
+//! - a streamed layer records [`LayerStage::weight_fetch_secs`] > 0, and
+//!   its fetch task gets a finish-to-start edge **into the layer's NPU
+//!   kernels** — compute cannot start before its weights arrived;
+//! - fetches serialize on the DMA lane (one streaming engine) and the
+//!   fetch for the *k*-th streamed layer waits for the compute of streamed
+//!   layer *k−2* — the double-buffered window has two slots, so a fetch
+//!   may run at most two streamed layers ahead of consumption;
+//! - resident layers submit **no** DMA task at all, so plans without
+//!   streaming build the exact task graph they built before the lane
+//!   existed, and every pinned golden number reproduces.
+//!
+//! Under [`DispatchMode::Overlapped`] the steady-state period therefore
+//! charges only *exposed* DMA time: fetches that fit under the previous
+//! layers' compute vanish from the critical path, and the period degrades
+//! to the DMA-lane occupancy only when streaming is bandwidth-bound.
+//! Serial mode pays every fetch in full ([`StepStages::serial_secs`]).
 //!
 //! Every path through one iteration of the graph visits each stage at most
 //! once, so the steady-state period can never exceed the serial sum; the
@@ -87,8 +112,12 @@ pub mod lane {
     pub const DISPATCH: usize = 2;
     /// Session-switch lane (FastRPC handle swap + ring cache maintenance).
     pub const SWITCH: usize = 3;
+    /// Weight-streaming DMA lane: whole-layer fetches from the DDR staging
+    /// region into the double-buffered session window (cold layers only;
+    /// resident plans leave this lane empty).
+    pub const DMA: usize = 4;
     /// Number of lanes.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 }
 
 /// One transformer layer's contribution to a step.
@@ -102,6 +131,10 @@ pub struct LayerStage {
     pub dispatch_secs: f64,
     /// Whether a session switch precedes this layer (shard boundary).
     pub switch_before: bool,
+    /// Seconds to stream this layer's weights from the DDR staging region
+    /// into the session window (0 for resident layers — no DMA task is
+    /// submitted and the task graph is unchanged).
+    pub weight_fetch_secs: f64,
 }
 
 /// The recorded stage breakdown of one forward step — the input to the
@@ -134,7 +167,7 @@ impl StepStages {
         let mut total = self.cpu_embed_secs + self.final_npu_secs + self.cpu_head_secs;
         let mut switches = usize::from(self.wrap_switch);
         for l in &self.layers {
-            total += l.npu_secs + l.dispatch_secs;
+            total += l.npu_secs + l.dispatch_secs + l.weight_fetch_secs;
             switches += usize::from(l.switch_before);
         }
         total + switches as f64 * self.switch_secs
@@ -148,6 +181,11 @@ struct IterTasks {
     last_dispatch: Option<TaskId>,
     final_norm: TaskId,
     wrap_switch: Option<TaskId>,
+    /// Compute tasks of the last two *streamed* layers, in walk order —
+    /// the current owners of the double-buffered window's two slots. The
+    /// next fetch waits for the older one to free its slot.
+    last_stream_compute: Option<TaskId>,
+    penult_stream_compute: Option<TaskId>,
 }
 
 /// Submits one decode iteration to the timeline. `prev` is the previous
@@ -172,6 +210,8 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
     let mut prev_layer: Option<TaskId> = prev.and_then(|p| p.last_layer);
     let mut penult_layer: Option<TaskId> = prev.and_then(|p| p.penultimate_layer);
     let mut prev_dispatch: Option<TaskId> = prev.and_then(|p| p.last_dispatch);
+    let mut last_stream: Option<TaskId> = prev.and_then(|p| p.last_stream_compute);
+    let mut penult_stream: Option<TaskId> = prev.and_then(|p| p.penult_stream_compute);
     let mut last_layer = None;
     let mut last_dispatch = None;
     for (i, layer) in st.layers.iter().enumerate() {
@@ -194,11 +234,27 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
             ddeps.push(s);
         }
         let disp = tl.submit(lane::DISPATCH, layer.dispatch_secs, &ddeps);
-        // NPU compute: after its commands, its shard's switch, the layer
-        // before it, and — for the walk's head — the CPU rows it consumes.
+        // Weight prefetch for a streamed layer: DDR staging -> session
+        // window. The fetch starts as soon as the DMA engine is free and
+        // the slot it reuses was drained (the compute of the streamed
+        // layer two back — a two-slot double buffer). Resident layers
+        // (fetch == 0) submit nothing, keeping their task graph
+        // bit-identical to the pre-streaming schedule.
+        let fetch = if layer.weight_fetch_secs > 0.0 {
+            let fdeps: Vec<TaskId> = penult_stream.into_iter().collect();
+            Some(tl.submit(lane::DMA, layer.weight_fetch_secs, &fdeps))
+        } else {
+            None
+        };
+        // NPU compute: after its commands, its shard's switch, its weight
+        // fetch, the layer before it, and — for the walk's head — the CPU
+        // rows it consumes.
         let mut ldeps: Vec<TaskId> = vec![disp];
         if let Some(s) = switch {
             ldeps.push(s);
+        }
+        if let Some(f) = fetch {
+            ldeps.push(f);
         }
         if let Some(pl) = prev_layer {
             ldeps.push(pl);
@@ -210,6 +266,10 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
             }
         }
         let lt = tl.submit(lane::NPU, layer.npu_secs, &ldeps);
+        if fetch.is_some() {
+            penult_stream = last_stream;
+            last_stream = Some(lt);
+        }
         penult_layer = prev_layer;
         prev_layer = Some(lt);
         last_layer = Some(lt);
@@ -234,6 +294,8 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
         last_dispatch,
         final_norm,
         wrap_switch,
+        last_stream_compute: last_stream,
+        penult_stream_compute: penult_stream,
     }
 }
 
@@ -283,11 +345,13 @@ mod tests {
                     npu_secs: 10e-3,
                     dispatch_secs: 1e-3,
                     switch_before: false,
+                    weight_fetch_secs: 0.0,
                 },
                 LayerStage {
                     npu_secs: 10e-3,
                     dispatch_secs: 1e-3,
                     switch_before: false,
+                    weight_fetch_secs: 0.0,
                 },
             ],
             final_npu_secs: 0.5e-3,
@@ -376,6 +440,71 @@ mod tests {
         let want = (1.0 + 10.0 + 10.0 + 0.5 + 8.0) * 1e-3;
         assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
         assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn serial_secs_charges_weight_fetches_in_full() {
+        let mut st = stages(8);
+        st.layers[1].weight_fetch_secs = 5e-3;
+        // Serial mode pays the whole fetch: 31.5 + 5 = 36.5 ms.
+        assert!((st.serial_secs() - 36.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_weight_fetch_leaves_the_period_unchanged() {
+        // A 5 ms fetch for L1 has two slots' worth of runway (the double
+        // buffer lets it run up to two streamed layers ahead), far more
+        // than it needs under 10 ms layer kernels: fully hidden.
+        let base = steady_state_step_secs(&stages(8));
+        let mut st = stages(8);
+        st.layers[1].weight_fetch_secs = 5e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - base).abs() < 1e-12, "got {got}, base {base}");
+        // Serial still pays it, so the overlap win grew by the fetch.
+        assert!((st.serial_secs() - stages(8).serial_secs() - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_bound_streaming_is_paced_by_the_dma_lane() {
+        // Both layers stream 30 ms of weights per step: 60 ms of DMA per
+        // iteration exceeds every other lane, so the steady-state period
+        // is exactly the DMA-lane occupancy — only the *exposed* fetch
+        // time shows up, never the serial sum.
+        let mut st = stages(8);
+        for l in &mut st.layers {
+            l.weight_fetch_secs = 30e-3;
+        }
+        let got = steady_state_step_secs(&st);
+        assert!((got - 60e-3).abs() < 1e-12, "got {got}");
+        assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn fetch_gates_its_layers_compute() {
+        // One streamed layer whose fetch dwarfs compute: the period can
+        // never drop below the fetch (finish-to-start edge into the
+        // layer's kernels + DMA lane serialization).
+        let mut st = stages(8);
+        st.layers.truncate(1);
+        st.layers[0].weight_fetch_secs = 50e-3;
+        st.layers[0].npu_secs = 1e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - 50e-3).abs() < 1e-12, "got {got}");
+        let one = single_pass_secs(&st);
+        assert!(one >= 50e-3 + 1e-3 - 1e-12, "single pass {one}");
+    }
+
+    #[test]
+    fn zero_fetch_layers_build_the_identical_schedule() {
+        // weight_fetch_secs == 0.0 must take the exact pre-streaming code
+        // path (no DMA task submitted), not merely a similar number.
+        let st = stages(8);
+        let mut tl = Timeline::new(lane::COUNT);
+        let it = submit_iteration(&mut tl, &st, None);
+        assert_eq!(tl.lane_busy_secs(lane::DMA), 0.0);
+        // 2 CPU + 2 dispatch + 2 layers + final norm, nothing else.
+        assert_eq!(tl.task_count(), 7);
+        assert!(tl.finish(it.final_norm) > 0.0);
     }
 
     #[test]

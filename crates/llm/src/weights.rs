@@ -76,6 +76,12 @@ pub struct ModelWeights {
     pub float_layers: Vec<LayerFloatWeights>,
     /// Dequantization variant the weights are packed for.
     pub variant: DequantVariant,
+    /// Session-resident double-buffered window that streamed (cold) layers
+    /// are fetched into; `None` for fully resident builds.
+    pub stream_window: Option<DdrBuffer>,
+    /// Largest staged byte footprint of any single streamed layer (the
+    /// window is twice this, one half per in-flight fetch).
+    pub stream_layer_bytes: u64,
 }
 
 /// Generates, quantizes and uploads one matrix.
@@ -124,10 +130,32 @@ impl ModelWeights {
         variant: DequantVariant,
         seed: u64,
     ) -> SimResult<Self> {
+        Self::build_streamed(ctx, cfg, variant, seed, &[])
+    }
+
+    /// Builds weights with the layers in `streamed` (ascending indices)
+    /// parked in the CPU-owned DDR staging region instead of session VA —
+    /// the hot/cold hierarchy of the weight-streaming path. Hot layers
+    /// build exactly as [`ModelWeights::build`] does (same seeds, same
+    /// bytes); cold layers consume no session space, and one
+    /// double-buffered window of `2 * stream_layer_bytes` is mapped into
+    /// session VA for the fetches to land in. With `streamed` empty this
+    /// is bit-for-bit the resident build.
+    pub fn build_streamed(
+        ctx: &mut NpuContext,
+        cfg: &ModelConfig,
+        variant: DequantVariant,
+        seed: u64,
+        streamed: &[usize],
+    ) -> SimResult<Self> {
         let functional = ctx.mode == ExecMode::Functional;
         let mut layers = Vec::with_capacity(cfg.layers);
         let mut float_layers = Vec::new();
+        let mut stream_layer_bytes = 0u64;
         for l in 0..cfg.layers {
+            let cold = streamed.contains(&l);
+            let staged_before = ctx.ddr_staged_bytes();
+            ctx.set_ddr_staging(cold);
             let s = seed.wrapping_add(1000 * l as u64);
             let (wq, fq) = build_matrix(
                 ctx,
@@ -194,6 +222,11 @@ impl ModelWeights {
                 s + 6,
                 functional,
             )?;
+            ctx.set_ddr_staging(false);
+            if cold {
+                let staged = ctx.ddr_staged_bytes() - staged_before;
+                stream_layer_bytes = stream_layer_bytes.max(staged);
+            }
             let attn_norm = vec![F16::ONE; cfg.hidden];
             let ffn_norm = vec![F16::ONE; cfg.hidden];
             layers.push(LayerNpuWeights {
@@ -225,12 +258,21 @@ impl ModelWeights {
         } else {
             Vec::new()
         };
+        // The streaming window is session-resident: fetches of cold layers
+        // land here, two slots deep so layer N+1's fetch overlaps layer N.
+        let stream_window = if stream_layer_bytes > 0 {
+            Some(ctx.ddr_alloc(2 * stream_layer_bytes)?)
+        } else {
+            None
+        };
         Ok(ModelWeights {
             layers,
             final_norm,
             embed,
             float_layers,
             variant,
+            stream_window,
+            stream_layer_bytes,
         })
     }
 
@@ -332,6 +374,57 @@ mod tests {
         let mut ctx = NpuContext::new(DeviceProfile::v73(), ExecMode::CostOnly);
         let cfg = ModelConfig::for_id(ModelId::Qwen1_5B);
         assert!(ModelWeights::build(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7).is_ok());
+    }
+
+    #[test]
+    fn streamed_build_parks_cold_layers_outside_session_va() {
+        let mut resident = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen1_5B);
+        ModelWeights::build(&mut resident, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let cold: Vec<usize> = (1..cfg.layers - 1).collect();
+        let w =
+            ModelWeights::build_streamed(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7, &cold)
+                .unwrap();
+        assert!(w.stream_window.is_some());
+        assert!(w.stream_layer_bytes > 0);
+        // Staging holds the 26 cold layers; session VA holds only the two
+        // hot layers plus the double-buffered window.
+        assert_eq!(
+            ctx.ddr_staged_bytes() + ctx.ddr_mapped_bytes(),
+            resident.ddr_mapped_bytes() + 2 * w.stream_layer_bytes
+        );
+        assert!(ctx.ddr_mapped_bytes() < resident.ddr_mapped_bytes() / 5);
+    }
+
+    #[test]
+    fn qwen3b_streams_onto_v73_session() {
+        // The same model the resident build rejects above maps once its
+        // cold layers stream: session VA holds 2 hot layers + the window.
+        let mut ctx = NpuContext::new(DeviceProfile::v73(), ExecMode::CostOnly);
+        let cfg = ModelConfig::for_id(ModelId::Qwen3B);
+        let cold: Vec<usize> = (1..cfg.layers - 1).collect();
+        let w =
+            ModelWeights::build_streamed(&mut ctx, &cfg, DequantVariant::CoalescedLut, 7, &cold)
+                .unwrap();
+        assert!(w.stream_window.is_some());
+        assert!(ctx.ddr_mapped_bytes() <= DeviceProfile::v73().session_va_bytes);
+    }
+
+    #[test]
+    fn empty_stream_set_is_the_resident_build() {
+        let mut a = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let cfg = ModelConfig::for_id(ModelId::Tiny);
+        let wa = ModelWeights::build(&mut a, &cfg, DequantVariant::CoalescedLut, 7).unwrap();
+        let mut b = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let wb = ModelWeights::build_streamed(&mut b, &cfg, DequantVariant::CoalescedLut, 7, &[])
+            .unwrap();
+        assert!(wb.stream_window.is_none());
+        assert_eq!(wb.stream_layer_bytes, 0);
+        assert_eq!(a.ddr_mapped_bytes(), b.ddr_mapped_bytes());
+        assert_eq!(b.ddr_staged_bytes(), 0);
+        assert_eq!(wa.float_layers[0].wq, wb.float_layers[0].wq);
     }
 
     #[test]

@@ -11,17 +11,21 @@
 //! tagged with their session count.
 //!
 //! The final section runs decode with overlap-aware async dispatch ON and
-//! OFF (paper Section 7.2.2): it writes the machine-readable
-//! `BENCH_decode.json` artifact and **fails the process** if any
-//! overlapped point regresses above its serial baseline — CI runs this
-//! example on every push, so both the sharded execution path and the
-//! overlap win are exercised — not just compiled — continuously.
+//! OFF (paper Section 7.2.2), then compares the fully resident placement
+//! against the weight-streaming hot/cold hierarchy (DDR staging + DMA
+//! prefetch lane): it writes the machine-readable `BENCH_decode.json`
+//! artifact and **fails the process** if any overlapped point regresses
+//! above its serial baseline, if any streamed point drops below 90% of
+//! its resident baseline, or if the larger-than-cap rescue configuration
+//! stops running — CI runs this example on every push, so the sharded
+//! execution path, the overlap win and the streaming placement are
+//! exercised — not just compiled — continuously.
 //!
 //! Run with: `cargo run --release --example device_sweep`
 
 use benchutil::json::Json;
 use npuscale::backend::{all_backends, decode_sweep, SweepOutcome};
-use npuscale::experiments::decode_overlap_rows;
+use npuscale::experiments::{decode_overlap_rows, decode_stream_rows};
 use npuscale::memory::measure_overhead;
 use npuscale_repro::prelude::*;
 
@@ -149,6 +153,8 @@ fn overlap_section() {
             ("sessions", Json::from(r.sessions)),
         ]));
     }
+    let (stream_json, stream_regressed) = streaming_section();
+    let stream_rows = stream_json.len();
     let artifact = Json::obj([
         ("bench", Json::str("decode_overlap")),
         ("unit", Json::str("tokens_per_sec")),
@@ -156,16 +162,108 @@ fn overlap_section() {
             "description",
             Json::str(
                 "Decode throughput, serial vs overlap-aware async dispatch \
-                 (paper Sec 7.2.2), per device profile; regenerated by \
-                 `cargo run --release --example device_sweep`",
+                 (paper Sec 7.2.2) and resident vs weight-streamed placement \
+                 (hot/cold hierarchy, DMA prefetch lane), per device profile; \
+                 regenerated by `cargo run --release --example device_sweep`",
             ),
         ),
         ("rows", Json::Arr(json_rows)),
+        ("streaming_rows", Json::Arr(stream_json)),
     ]);
     benchutil::json::write_file("BENCH_decode.json", &artifact).expect("writing BENCH_decode.json");
-    println!("\nWrote BENCH_decode.json ({} rows).", rows.len());
+    println!(
+        "\nWrote BENCH_decode.json ({} overlap rows, {} streaming rows).",
+        rows.len(),
+        stream_rows
+    );
     if regressed {
         eprintln!("overlapped decode regressed above the serial baseline");
         std::process::exit(1);
     }
+    if stream_regressed {
+        eprintln!("weight streaming regressed against its resident baseline");
+        std::process::exit(1);
+    }
+}
+
+/// Resident vs. weight-streamed decode (hot/cold weight hierarchy):
+/// prints the comparison and returns the JSON rows plus whether any gate
+/// tripped — streamed throughput below 90% of resident, sessions not
+/// saved, or the larger-than-cap rescue configuration failing to run.
+fn streaming_section() -> (Vec<Json>, bool) {
+    println!("\n=== Weight streaming (hot/cold hierarchy): resident vs streamed ===");
+    println!(
+        "{:<6} {:<6} {:>5} {:>6} {:>13} {:>13} {:>7} {:>7} {:>6}",
+        "device",
+        "model",
+        "batch",
+        "ctx",
+        "resident t/s",
+        "streamed t/s",
+        "res.s",
+        "str.s",
+        "ratio"
+    );
+    let rows = decode_stream_rows();
+    let mut regressed = false;
+    let mut rescue_ran = false;
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let resident_tps = if r.resident_runs {
+            format!("{:>13.1}", r.resident_tps)
+        } else {
+            format!("{:>13}", "cannot run")
+        };
+        println!(
+            "{:<6} {:<6} {:>5} {:>6} {resident_tps} {:>13.1} {:>7} {:>7} {:>6.3}",
+            r.device,
+            r.model,
+            r.batch,
+            r.ctx_len,
+            r.streamed_tps,
+            r.resident_sessions,
+            r.streamed_sessions,
+            r.throughput_ratio
+        );
+        if r.resident_runs {
+            // The DMA prefetch lane must hide all but <=10% of the
+            // cold-layer fetches, while freeing at least one session.
+            if r.throughput_ratio < 0.9 {
+                eprintln!(
+                    "REGRESSION: {}/{} b{}: streamed keeps only {:.3} of resident",
+                    r.device, r.model, r.batch, r.throughput_ratio
+                );
+                regressed = true;
+            }
+            if r.sessions_saved == 0 {
+                eprintln!(
+                    "REGRESSION: {}/{} b{}: streaming saved no sessions",
+                    r.device, r.model, r.batch
+                );
+                regressed = true;
+            }
+        } else {
+            // Resident cannot run here: streaming running at all IS the
+            // result (a previously undeployable configuration).
+            rescue_ran = true;
+        }
+        json_rows.push(Json::obj([
+            ("device", Json::str(r.device.clone())),
+            ("model", Json::str(r.model.clone())),
+            ("batch", Json::from(r.batch)),
+            ("ctx_len", Json::from(r.ctx_len)),
+            ("resident_runs", Json::Bool(r.resident_runs)),
+            ("resident_tps", Json::Num(r.resident_tps)),
+            ("resident_sessions", Json::from(r.resident_sessions)),
+            ("streamed_tps", Json::Num(r.streamed_tps)),
+            ("streamed_sessions", Json::from(r.streamed_sessions)),
+            ("sessions_saved", Json::from(r.sessions_saved)),
+            ("throughput_ratio", Json::Num(r.throughput_ratio)),
+        ]));
+    }
+    if !rescue_ran {
+        eprintln!("REGRESSION: no larger-than-cap configuration ran streamed");
+        regressed = true;
+    }
+    (json_rows, regressed)
 }

@@ -100,6 +100,7 @@ fn sharded_decode_is_bit_identical_to_single_session() {
             model.set_layer_schedule(LayerSchedule {
                 boundaries: vec![1],
                 switch_secs: 30e-6,
+                ..Default::default()
             });
         }
         let mut cache = KvCache::new(&mut ctx, &model.cfg, 2, 128).unwrap();

@@ -248,6 +248,7 @@ fn sharded_overlapped_logits_bit_identical_to_serial_single_session() {
     model.set_layer_schedule(LayerSchedule {
         boundaries: vec![1],
         switch_secs: 30e-6,
+        ..Default::default()
     });
     let mut cache = KvCache::new(&mut ctx, &model.cfg, 4, 256).unwrap();
     let pf = model.prefill(&mut ctx, &mut cache, 0, &tokens).unwrap();
