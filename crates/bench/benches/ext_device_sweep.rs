@@ -7,7 +7,7 @@
 
 use edgellm::config::ModelId;
 use hexsim::device::DeviceProfile;
-use npuscale::backend::{all_backends, decode_sweep, Backend, NpuSimBackend, SweepOutcome};
+use npuscale::backend::{decode_sweep, npu_backends_all, SweepOutcome};
 use npuscale::memory::measure_overhead;
 use npuscale::power::PowerModel;
 
@@ -33,9 +33,9 @@ fn main() {
             "sessions"
         );
         let pm = PowerModel::new(device.clone());
-        let mut backends = all_backends(&device);
-        // The Section 7.2.2 overlap-aware runtime rides the same sweep.
-        backends.push(Box::new(NpuSimBackend::overlapped(device.clone())) as Box<dyn Backend>);
+        // All three runtime variants (serial, async, streamed) plus the
+        // analytic baselines, from the shared construction point.
+        let backends = npu_backends_all(&device);
         for model in [
             ModelId::Llama1B,
             ModelId::Qwen1_5B,

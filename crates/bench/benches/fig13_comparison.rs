@@ -11,7 +11,8 @@ fn main() {
         "paper Fig 13: GPU wins batch-1 decode; ours wins batched decode + prefill",
     );
     let mut backends = figure13_backends(&DeviceProfile::v75());
-    backends.push(Box::new(NpuSimBackend::overlapped(DeviceProfile::v75())) as Box<dyn Backend>);
+    let [_, overlapped, _] = NpuSimBackend::variants(&DeviceProfile::v75());
+    backends.push(Box::new(overlapped) as Box<dyn Backend>);
     println!("--- decode (tok/s) ---");
     let rows = npuscale::experiments::fig13_decode_rows(&backends);
     println!(

@@ -153,6 +153,102 @@ fn bench_softmax(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_attention_host(c: &mut Criterion) {
+    // The attention host-staging hot loops: per-element F16 conversion in
+    // the QK^T / PV inner products against the chunked staged form the
+    // functional flash kernel now uses (bit-identical, pinned by the
+    // `staged_block_math_is_bit_identical_to_elementwise` sweep in
+    // htpops). Shapes mirror one KV block of a decode step.
+    let mut group = c.benchmark_group("attention_host");
+    let (nq, cols, d) = (4usize, 128usize, 64usize);
+    group.throughput(Throughput::Elements((nq * cols * d) as u64));
+    let q: Vec<F16> = (0..nq * d)
+        .map(|i| F16::from_f32(((i % 97) as f32) / 48.0 - 1.0))
+        .collect();
+    let k: Vec<F16> = (0..cols * d)
+        .map(|i| F16::from_f32(((i % 89) as f32) / 44.0 - 1.0))
+        .collect();
+    group.bench_function("qk_block_scalar_4x128x64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..nq {
+                for j in 0..cols {
+                    let mut dot = 0.0f32;
+                    for p in 0..d {
+                        dot += std::hint::black_box(q[i * d + p]).to_f32() * k[j * d + p].to_f32();
+                    }
+                    acc += dot;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("qk_block_staged_4x128x64", |b| {
+        b.iter(|| {
+            let qf = F16::vec_to_f32(std::hint::black_box(&q));
+            let kf = F16::vec_to_f32(&k);
+            let mut acc = 0.0f32;
+            for i in 0..nq {
+                for j in 0..cols {
+                    let mut dot = 0.0f32;
+                    for p in 0..d {
+                        dot += qf[i * d + p] * kf[j * d + p];
+                    }
+                    acc += dot;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_lm_head_row(c: &mut Criterion) {
+    // One lm_head row: hidden state against a vocabulary slice — scalar
+    // per-element conversion vs the hoisted chunked conversion the model
+    // uses (convert the hidden state once, dot in f32; `to_f32` is exact
+    // so both accumulate identically).
+    let mut group = c.benchmark_group("lm_head");
+    let (hidden, vocab) = (256usize, 512usize);
+    group.throughput(Throughput::Elements((hidden * vocab) as u64));
+    let x: Vec<F16> = (0..hidden)
+        .map(|i| F16::from_f32(((i % 61) as f32) / 30.0 - 1.0))
+        .collect();
+    let w: Vec<f32> = (0..hidden * vocab)
+        .map(|i| ((i % 103) as f32) / 51.0 - 1.0)
+        .collect();
+    group.bench_function("row_scalar_h256_v512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for v in 0..vocab {
+                let row = &w[v * hidden..(v + 1) * hidden];
+                let mut dot = 0.0f32;
+                for (h, wv) in std::hint::black_box(&x).iter().zip(row) {
+                    dot += h.to_f32() * wv;
+                }
+                acc += dot;
+            }
+            acc
+        })
+    });
+    group.bench_function("row_staged_h256_v512", |b| {
+        b.iter(|| {
+            let xf = F16::vec_to_f32(std::hint::black_box(&x));
+            let mut acc = 0.0f32;
+            for v in 0..vocab {
+                let row = &w[v * hidden..(v + 1) * hidden];
+                let mut dot = 0.0f32;
+                for (h, wv) in xf.iter().zip(row) {
+                    dot += h * wv;
+                }
+                acc += dot;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_hmx_tile(c: &mut Criterion) {
     let mut group = c.benchmark_group("hmx");
     group.throughput(Throughput::Elements(32 * 32 * 32));
@@ -181,6 +277,6 @@ fn bench_hmx_tile(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_f16_conversion, bench_lut_dequant, bench_softmax, bench_hmx_tile
+    targets = bench_f16_conversion, bench_lut_dequant, bench_softmax, bench_attention_host, bench_lm_head_row, bench_hmx_tile
 }
 criterion_main!(benches);

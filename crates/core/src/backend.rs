@@ -195,6 +195,20 @@ impl NpuSimBackend {
         }
     }
 
+    /// The three runtime variants on one device, in fixed order: serial
+    /// ("Ours"), overlap-aware ("Ours (async)"), weight-streamed
+    /// ("Ours (streamed)"). The single construction point behind
+    /// [`npu_backends_both`], [`npu_backends_all`] and the
+    /// row-generators in [`crate::experiments`] — destructure and pick
+    /// the ones an exhibit needs.
+    pub fn variants(device: &DeviceProfile) -> [NpuSimBackend; 3] {
+        [
+            NpuSimBackend::new(device.clone()),
+            NpuSimBackend::overlapped(device.clone()),
+            NpuSimBackend::streamed(device.clone()),
+        ]
+    }
+
     /// Plans the deployment's session placement: contiguous layer shards
     /// (each layer's weights plus its KV slice) across as many 32-bit
     /// sessions as the device needs (1 for everything that fits — the
@@ -431,9 +445,24 @@ pub fn npu_backend(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
 /// then overlap-aware async dispatch ("Ours (async)") — for exhibits
 /// that show the Section 7.2.2 pipelining win side by side.
 pub fn npu_backends_both(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
+    let [serial, overlapped, _] = NpuSimBackend::variants(device);
+    vec![Box::new(serial), Box::new(overlapped)]
+}
+
+/// Every backend on one device: the three NPU runtime variants (serial,
+/// overlap-aware, weight-streamed) followed by the analytic baselines —
+/// the single construction point the sweep surfaces and the serving
+/// gateway's fleet builder share, so a new variant shows up everywhere
+/// at once.
+pub fn npu_backends_all(device: &DeviceProfile) -> Vec<Box<dyn Backend>> {
+    let [serial, overlapped, streamed] = NpuSimBackend::variants(device);
     vec![
-        Box::new(NpuSimBackend::new(device.clone())),
-        Box::new(NpuSimBackend::overlapped(device.clone())),
+        Box::new(serial),
+        Box::new(overlapped),
+        Box::new(streamed),
+        Box::new(GpuBaseline::default()),
+        Box::new(QnnFp16Baseline::default()),
+        Box::new(CpuRefBackend::default()),
     ]
 }
 

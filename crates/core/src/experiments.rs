@@ -690,8 +690,7 @@ pub struct DecodeOverlapRow {
 pub fn decode_overlap_rows() -> Vec<DecodeOverlapRow> {
     let mut out = Vec::new();
     for device in DeviceProfile::all() {
-        let serial = crate::backend::NpuSimBackend::new(device.clone());
-        let overlapped = crate::backend::NpuSimBackend::overlapped(device.clone());
+        let [serial, overlapped, _] = crate::backend::NpuSimBackend::variants(&device);
         let mut push = |model: ModelId, batch: usize, ctx_len: usize| {
             // Two independent measurements on purpose: one Overlapped run's
             // StepCost carries both views, but the regression gate is only
@@ -772,8 +771,7 @@ pub struct DecodeStreamRow {
 pub fn decode_stream_rows() -> Vec<DecodeStreamRow> {
     let mut out = Vec::new();
     let mut push = |device: &DeviceProfile, model: ModelId, batch: usize, ctx_len: usize| {
-        let resident = crate::backend::NpuSimBackend::overlapped(device.clone());
-        let streamed = crate::backend::NpuSimBackend::streamed(device.clone());
+        let [_, resident, streamed] = crate::backend::NpuSimBackend::variants(device);
         let Ok(s) = streamed.decode(model, batch, ctx_len) else {
             return;
         };

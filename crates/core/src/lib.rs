@@ -25,6 +25,10 @@
 //! - [`experiments`] — one typed row-generator per paper table/figure;
 //!   the bench harness prints exactly these rows. The system-comparison
 //!   generators (Figures 13, 16, 17) consume `&[Box<dyn Backend>]`.
+//! - [`serve`] — the fleet-scale serving gateway: seeded Poisson /
+//!   trace-replay arrivals, bounded priority admission, chunked prefill
+//!   interleaved with continuous-batching decode, SLO metrics
+//!   (TTFT/TBT percentiles, goodput) over a heterogeneous device fleet.
 
 pub mod backend;
 pub mod baselines;
@@ -33,6 +37,7 @@ pub mod memory;
 pub mod pareto;
 pub mod pipeline;
 pub mod power;
+pub mod serve;
 pub mod session;
 
 pub use backend::{Backend, FitReport, NpuSimBackend};

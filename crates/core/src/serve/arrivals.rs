@@ -1,0 +1,229 @@
+//! Arrival processes for the serving gateway: seeded Poisson generation
+//! over per-tenant specs, and replay of explicit traces.
+//!
+//! A [`TenantSpec`] describes one request class — its admission priority
+//! and the ranges its prompt and output lengths are drawn from. The
+//! output length is the *realized* generation length (where the EOS
+//! token lands); the per-request decode budget is the range's upper
+//! bound, so a fixed-batch executor that cannot retire on EOS pays the
+//! full budget while the gateway's continuous batching frees the slot at
+//! the realized length.
+//!
+//! [`poisson_trace`] draws exponential inter-arrival times at a total
+//! rate and assigns each arrival to a tenant by weight — fully seeded,
+//! so every run of a given `(tenants, rate, n, seed)` tuple produces the
+//! identical trace (the CI gate depends on this). [`replay_trace`] wraps
+//! explicit `(arrival, prompt, output)` tuples for trace-driven tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request class in the arrival mix.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant label, carried through to the per-tenant report.
+    pub name: String,
+    /// Admission priority: higher values are served first and survive
+    /// queue overflow longer.
+    pub priority: u8,
+    /// Relative share of arrivals assigned to this tenant.
+    pub weight: f64,
+    /// Inclusive prompt-length range in tokens.
+    pub prompt_lens: (usize, usize),
+    /// Inclusive realized output-length range in tokens (the EOS point);
+    /// the decode *budget* of every request is the upper bound.
+    pub output_lens: (usize, usize),
+}
+
+impl TenantSpec {
+    /// A latency-sensitive chat tenant: short prompts, short outputs,
+    /// high priority.
+    pub fn interactive(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            priority: 2,
+            weight: 3.0,
+            prompt_lens: (32, 96),
+            output_lens: (4, 24),
+        }
+    }
+
+    /// A throughput-oriented batch tenant: long prompts, low priority —
+    /// the tenant whose monolithic prefill stalls everyone else's decode.
+    pub fn batch(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            priority: 1,
+            weight: 1.0,
+            prompt_lens: (256, 512),
+            output_lens: (8, 32),
+        }
+    }
+}
+
+/// One serving request: arrival time plus the prompt/output shape drawn
+/// from its tenant.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Stable id, assigned in arrival order from zero.
+    pub id: u64,
+    /// Name of the tenant the request belongs to.
+    pub tenant: String,
+    /// Admission priority inherited from the tenant.
+    pub priority: u8,
+    /// Arrival time in simulated seconds.
+    pub arrival_secs: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Realized output length in tokens (first token included) — where
+    /// the EOS lands. Always `<= max_new`.
+    pub output_len: usize,
+    /// Decode budget in tokens: the slot is reclaimed at this length even
+    /// if no EOS fired.
+    pub max_new: usize,
+}
+
+fn draw_range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    assert!(
+        lo >= 1 && hi >= lo,
+        "length range must be ordered, got {lo}..={hi}"
+    );
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Generates `n` requests from a seeded Poisson process at `rate_rps`
+/// total requests/second, splitting arrivals across `tenants` by weight.
+/// Deterministic in `(tenants, rate_rps, n, seed)`.
+///
+/// # Panics
+///
+/// Panics on an empty tenant list, non-positive rate or weights, or
+/// malformed length ranges.
+pub fn poisson_trace(tenants: &[TenantSpec], rate_rps: f64, n: usize, seed: u64) -> Vec<Request> {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    assert!(rate_rps > 0.0, "arrival rate must be positive");
+    let total_weight: f64 = tenants.iter().map(|t| t.weight).sum();
+    assert!(
+        total_weight > 0.0 && tenants.iter().all(|t| t.weight > 0.0),
+        "tenant weights must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        // Exponential inter-arrival via inverse transform; 1 - u keeps
+        // the log argument strictly positive.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        clock += -(1.0 - u).ln() / rate_rps;
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let tenant = tenants
+            .iter()
+            .find(|t| {
+                pick -= t.weight;
+                pick < 0.0
+            })
+            .unwrap_or(&tenants[tenants.len() - 1]);
+        let prompt_len = draw_range(&mut rng, tenant.prompt_lens);
+        let output_len = draw_range(&mut rng, tenant.output_lens);
+        out.push(Request {
+            id,
+            tenant: tenant.name.clone(),
+            priority: tenant.priority,
+            arrival_secs: clock,
+            prompt_len,
+            output_len,
+            max_new: tenant.output_lens.1,
+        });
+    }
+    out
+}
+
+/// Wraps explicit `(arrival_secs, prompt_len, output_len)` tuples as a
+/// request trace for `tenant` — the trace-replay arrival path. The decode
+/// budget of every request is the tenant's output upper bound.
+pub fn replay_trace(tenant: &TenantSpec, points: &[(f64, usize, usize)]) -> Vec<Request> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &(arrival_secs, prompt_len, output_len))| {
+            assert!(
+                output_len <= tenant.output_lens.1,
+                "replayed output {output_len} exceeds the tenant budget {}",
+                tenant.output_lens.1
+            );
+            Request {
+                id: i as u64,
+                tenant: tenant.name.clone(),
+                priority: tenant.priority,
+                arrival_secs,
+                prompt_len,
+                output_len,
+                max_new: tenant.output_lens.1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_seed_deterministic() {
+        let tenants = [TenantSpec::interactive("chat"), TenantSpec::batch("batch")];
+        let a = poisson_trace(&tenants, 5.0, 32, 42);
+        let b = poisson_trace(&tenants, 5.0, 32, 42);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_secs, y.arrival_secs);
+            assert_eq!(x.prompt_len, y.prompt_len);
+            assert_eq!(x.output_len, y.output_len);
+            assert_eq!(x.tenant, y.tenant);
+        }
+        let c = poisson_trace(&tenants, 5.0, 32, 43);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.arrival_secs != y.arrival_secs));
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_mean_rate_is_close() {
+        let tenants = [TenantSpec::interactive("chat")];
+        let trace = poisson_trace(&tenants, 10.0, 400, 7);
+        assert!(trace
+            .windows(2)
+            .all(|w| w[0].arrival_secs <= w[1].arrival_secs));
+        let span = trace.last().unwrap().arrival_secs;
+        let rate = 400.0 / span;
+        assert!((7.0..13.0).contains(&rate), "empirical rate {rate}");
+        for r in &trace {
+            assert!(r.output_len <= r.max_new);
+            assert!((32..=96).contains(&r.prompt_len));
+        }
+    }
+
+    #[test]
+    fn weights_split_the_mix() {
+        let tenants = [TenantSpec::interactive("chat"), TenantSpec::batch("batch")];
+        let trace = poisson_trace(&tenants, 5.0, 400, 11);
+        let chat = trace.iter().filter(|r| r.tenant == "chat").count();
+        // 3:1 weights: expect roughly 300 of 400.
+        assert!((240..=360).contains(&chat), "chat share {chat}");
+    }
+
+    #[test]
+    fn replay_preserves_the_trace() {
+        let t = TenantSpec::batch("replay");
+        let trace = replay_trace(&t, &[(0.0, 300, 8), (0.5, 400, 16)]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].prompt_len, 400);
+        assert_eq!(trace[1].output_len, 16);
+        assert_eq!(trace[1].max_new, 32);
+        assert_eq!(trace[0].priority, t.priority);
+    }
+}

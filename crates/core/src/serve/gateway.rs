@@ -1,0 +1,749 @@
+//! The fleet gateway: a deterministic discrete-event serving simulator.
+//!
+//! [`FleetGateway::serve_trace`] drives a request trace through a fleet
+//! of simulated NPU workers. Each worker is a real
+//! [`DecodeSession`] over a cost-only model built exactly the way
+//! [`crate::pipeline`] builds its measurement deployments (shard plan,
+//! streamed weight hierarchy, overlap-aware dispatch), so every charged
+//! duration comes from the same calibrated cost model as the paper
+//! figures:
+//!
+//! - a **decode step** costs the steady-state critical path of its
+//!   recorded stages ([`steady_state_step_secs`]);
+//! - a **chunked prefill** rides the decode walk: the chunk's stages are
+//!   fused with the decode step's via [`StepStages::merged`] and the
+//!   combined walk is charged once — per-walk overheads (dispatch ring,
+//!   session switches, weight fetches) are shared, row-proportional
+//!   compute adds;
+//! - a **monolithic prefill** is a standalone pass
+//!   ([`single_pass_secs`]) during which the worker's decode batch emits
+//!   nothing — the head-of-line stall chunking exists to avoid;
+//! - EOS-driven early finish goes through [`DecodeSession::retire`],
+//!   freeing the KV slot the moment a request's realized output length
+//!   is reached, and the dispatcher immediately re-admits from the
+//!   queue.
+//!
+//! The loop is event-driven over two event kinds — request arrivals and
+//! worker step completions — with all ties broken deterministically, so
+//! a `(fleet, config, trace)` triple always produces the identical
+//! [`ServingReport`] (the CI regression gate pins its numbers).
+
+use edgellm::config::ModelConfig;
+use edgellm::model::Model;
+use edgellm::overlap::{
+    lane, single_pass_secs, steady_state_lane_utilization, steady_state_step_secs, DispatchMode,
+    StepStages,
+};
+use hexsim::prelude::*;
+use htpops::gemm::DequantVariant;
+
+use crate::serve::arrivals::Request;
+use crate::serve::metrics::percentile;
+use crate::serve::scheduler::{
+    plan_worker, predicted_completion_secs, AdmissionQueue, FleetSpec, GatewayConfig, PrefillMode,
+    WorkerOracle,
+};
+use crate::session::{DecodeSession, SeqId, ShardPlan};
+
+/// Per-worker outcome of a serving run.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker label (SoC plus deployment variant).
+    pub name: String,
+    /// NPU sessions the worker's deployment spans.
+    pub sessions: usize,
+    /// Requests that finished on this worker.
+    pub served: usize,
+    /// Interleaved decode/prefill steps executed.
+    pub steps: usize,
+    /// Simulated seconds the worker spent stepping.
+    pub busy_secs: f64,
+    /// Busy fraction of the fleet makespan.
+    pub utilization: f64,
+    /// Steady-state NPU-lane busy fraction of the worker's last decode
+    /// step schedule (accelerator utilization *within* a step).
+    pub npu_lane_utilization: f64,
+    /// Tokens emitted by decode steps on this worker.
+    pub decoded_tokens: usize,
+}
+
+/// Per-tenant outcome of a serving run.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant label.
+    pub name: String,
+    /// Requests the trace contained for this tenant.
+    pub requests: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Completed requests that met the SLO.
+    pub slo_good: usize,
+}
+
+/// The gateway's SLO scorecard for one trace.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Requests rejected by the bounded admission queue (or unplaceable
+    /// on any worker).
+    pub rejected: usize,
+    /// Simulated seconds from first arrival to last worker going idle.
+    pub makespan_secs: f64,
+    /// Median time-to-first-token (queue wait + prefill).
+    pub ttft_p50_secs: f64,
+    /// 99th-percentile time-to-first-token.
+    pub ttft_p99_secs: f64,
+    /// Median time-between-tokens across every decode emission.
+    pub tbt_p50_secs: f64,
+    /// 99th-percentile time-between-tokens.
+    pub tbt_p99_secs: f64,
+    /// Median admission-queue wait.
+    pub queue_wait_p50_secs: f64,
+    /// 99th-percentile admission-queue wait.
+    pub queue_wait_p99_secs: f64,
+    /// Deepest the admission queue got.
+    pub peak_queue_depth: usize,
+    /// Completed requests that met the SLO.
+    pub slo_good: usize,
+    /// SLO-good requests per simulated second.
+    pub goodput_rps: f64,
+    /// Tokens emitted by decode steps fleet-wide.
+    pub decoded_tokens: usize,
+    /// Decode tokens per simulated second.
+    pub tokens_per_sec: f64,
+    /// Per-worker breakdown, in fleet order.
+    pub workers: Vec<WorkerReport>,
+    /// Per-tenant breakdown, in first-appearance order.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One request's lifecycle while (and after) it is in flight.
+#[derive(Clone, Debug, Default)]
+struct ReqRecord {
+    ttft: Option<f64>,
+    finished: Option<f64>,
+    max_tbt: f64,
+    rejected: bool,
+}
+
+/// A sequence the gateway is tracking on one worker.
+struct SeqTrack {
+    seq: SeqId,
+    /// Index into the trace.
+    req: usize,
+    /// Tokens emitted so far (first token included once prefill lands).
+    emitted: usize,
+    /// Simulated time of the last emission (admission time before it).
+    last_token: f64,
+}
+
+/// Mutable per-worker simulation state.
+struct WorkerState {
+    clock: f64,
+    busy_secs: f64,
+    steps: usize,
+    served: usize,
+    seqs: Vec<SeqTrack>,
+}
+
+/// Everything the event handlers mutate, minus the borrow-sensitive
+/// session/context pair (passed alongside).
+struct SimState<'t> {
+    prefill: PrefillMode,
+    trace: &'t [Request],
+    states: Vec<WorkerState>,
+    records: Vec<ReqRecord>,
+    ttfts: Vec<f64>,
+    tbts: Vec<f64>,
+    queue_waits: Vec<f64>,
+    rejected: usize,
+}
+
+/// The serving gateway: admission control in front of a heterogeneous
+/// worker fleet. Construction probes every worker through
+/// [`crate::backend::Backend::fits`] and fails if any worker cannot hold
+/// the model at its configured capacity.
+pub struct FleetGateway {
+    fleet: FleetSpec,
+    config: GatewayConfig,
+    oracles: Vec<WorkerOracle>,
+}
+
+impl FleetGateway {
+    /// Validates the fleet (every worker must pass the `fits` gate) and
+    /// measures the dispatch oracle for each worker.
+    pub fn new(fleet: FleetSpec, config: GatewayConfig) -> SimResult<Self> {
+        assert!(!fleet.workers.is_empty(), "fleet needs at least one worker");
+        if let PrefillMode::Chunked { chunk_tokens } = config.prefill {
+            assert!(chunk_tokens >= 1, "prefill chunks carry at least one token");
+        }
+        let oracles = fleet
+            .workers
+            .iter()
+            .map(|w| plan_worker(fleet.model, w))
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(FleetGateway {
+            fleet,
+            config,
+            oracles,
+        })
+    }
+
+    /// The measured per-worker dispatch oracles, in fleet order.
+    pub fn oracles(&self) -> &[WorkerOracle] {
+        &self.oracles
+    }
+
+    /// Serves a trace to completion and reports SLO metrics. The trace
+    /// need not be sorted; requests are processed in arrival order (ties
+    /// by id). Deterministic: identical inputs produce an identical
+    /// report.
+    pub fn serve_trace(&self, trace: &[Request]) -> SimResult<ServingReport> {
+        let n = self.fleet.workers.len();
+        // Build each worker's runtime exactly like the measurement
+        // pipeline: shard plan -> sharded cost-only context -> streamed
+        // model under overlap-aware dispatch -> decode session.
+        let cfg = ModelConfig::for_id(self.fleet.model);
+        let mut ctxs: Vec<NpuContext> = Vec::with_capacity(n);
+        let mut models: Vec<Model> = Vec::with_capacity(n);
+        let mut plan_sessions = Vec::with_capacity(n);
+        for w in &self.fleet.workers {
+            let plan = if w.streaming {
+                ShardPlan::build_streaming(&cfg, w.device.session_va_bytes, w.max_batch, w.max_ctx)?
+            } else {
+                ShardPlan::build(&cfg, w.device.session_va_bytes, w.max_batch, w.max_ctx)?
+            };
+            let mut ctx =
+                NpuContext::new_sharded(w.device.clone(), ExecMode::CostOnly, plan.sessions());
+            let schedule = plan.schedule();
+            let mut model = Model::new_streamed(
+                &mut ctx,
+                self.fleet.model,
+                DequantVariant::CoalescedLut,
+                1,
+                &schedule.streamed,
+            )?;
+            model.set_layer_schedule(schedule);
+            model.set_dispatch_mode(DispatchMode::Overlapped);
+            plan_sessions.push(plan.sessions());
+            ctxs.push(ctx);
+            models.push(model);
+        }
+        let mut sessions: Vec<DecodeSession<'_>> = Vec::with_capacity(n);
+        for (i, model) in models.iter().enumerate() {
+            let w = &self.fleet.workers[i];
+            let budget = w.max_batch * (w.max_ctx + 2);
+            sessions.push(DecodeSession::new(
+                &mut ctxs[i],
+                model,
+                &[0],
+                w.max_batch,
+                budget,
+            )?);
+        }
+
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by(|&a, &b| {
+            trace[a]
+                .arrival_secs
+                .total_cmp(&trace[b].arrival_secs)
+                .then(trace[a].id.cmp(&trace[b].id))
+        });
+        let mut sim = SimState {
+            prefill: self.config.prefill,
+            trace,
+            states: (0..n)
+                .map(|_| WorkerState {
+                    clock: 0.0,
+                    busy_secs: 0.0,
+                    steps: 0,
+                    served: 0,
+                    seqs: Vec::new(),
+                })
+                .collect(),
+            records: vec![ReqRecord::default(); trace.len()],
+            ttfts: Vec::new(),
+            tbts: Vec::new(),
+            queue_waits: Vec::new(),
+            rejected: 0,
+        };
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let mut next_arrival = 0usize;
+
+        loop {
+            let arrival = order.get(next_arrival).map(|&ri| trace[ri].arrival_secs);
+            let busy_worker = (0..n)
+                .filter(|&i| sessions[i].active_count() + sessions[i].prefilling_count() > 0)
+                .min_by(|&a, &b| {
+                    sim.states[a]
+                        .clock
+                        .total_cmp(&sim.states[b].clock)
+                        .then(a.cmp(&b))
+                });
+            let take_arrival = match (arrival, busy_worker) {
+                (Some(ta), Some(w)) => ta <= sim.states[w].clock,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let now = if take_arrival {
+                let ri = order[next_arrival];
+                next_arrival += 1;
+                let r = &trace[ri];
+                if let Some(rej) = queue.offer(ri, r.priority, r.arrival_secs, r.id) {
+                    sim.records[rej].rejected = true;
+                    sim.rejected += 1;
+                }
+                r.arrival_secs
+            } else if let Some(w) = busy_worker {
+                sim.step_worker(w, &mut sessions[w], &mut ctxs[w])?
+            } else {
+                // No arrivals left, every worker idle: anything still
+                // queued was never placeable (dispatch rejects those
+                // eagerly, but guard against a stall regardless).
+                while let Some(ri) = queue.pop() {
+                    sim.records[ri].rejected = true;
+                    sim.rejected += 1;
+                }
+                break;
+            };
+            sim.try_dispatch(now, &mut queue, &mut sessions, &self.oracles, &self.fleet)?;
+        }
+
+        let report = self.build_report(&sim, &queue, &sessions, &plan_sessions);
+        for (sess, ctx) in sessions.into_iter().zip(ctxs.iter_mut()) {
+            sess.release(ctx);
+        }
+        Ok(report)
+    }
+
+    fn build_report(
+        &self,
+        sim: &SimState<'_>,
+        queue: &AdmissionQueue,
+        sessions: &[DecodeSession<'_>],
+        plan_sessions: &[usize],
+    ) -> ServingReport {
+        let trace = sim.trace;
+        let makespan_secs = sim.states.iter().map(|s| s.clock).fold(0.0f64, f64::max);
+        let completed = sim.records.iter().filter(|r| r.finished.is_some()).count();
+        let mut slo_good = 0usize;
+        let mut tenants: Vec<TenantReport> = Vec::new();
+        for (i, req) in trace.iter().enumerate() {
+            let rec = &sim.records[i];
+            let good = rec.finished.is_some()
+                && rec
+                    .ttft
+                    .map(|t| self.config.slo.met(t, rec.max_tbt))
+                    .unwrap_or(false);
+            slo_good += usize::from(good);
+            let entry = match tenants.iter_mut().find(|t| t.name == req.tenant) {
+                Some(t) => t,
+                None => {
+                    tenants.push(TenantReport {
+                        name: req.tenant.clone(),
+                        requests: 0,
+                        completed: 0,
+                        rejected: 0,
+                        slo_good: 0,
+                    });
+                    tenants.last_mut().expect("just pushed")
+                }
+            };
+            entry.requests += 1;
+            entry.completed += usize::from(rec.finished.is_some());
+            entry.rejected += usize::from(rec.rejected);
+            entry.slo_good += usize::from(good);
+        }
+        let decoded_tokens: usize = sessions.iter().map(|s| s.decoded_tokens()).sum();
+        let workers = (0..sessions.len())
+            .map(|i| {
+                let st = &sim.states[i];
+                WorkerReport {
+                    name: self.oracles[i].name.clone(),
+                    sessions: plan_sessions[i],
+                    served: st.served,
+                    steps: st.steps,
+                    busy_secs: st.busy_secs,
+                    utilization: if makespan_secs > 0.0 {
+                        st.busy_secs / makespan_secs
+                    } else {
+                        0.0
+                    },
+                    npu_lane_utilization: sessions[i]
+                        .last_step_stages()
+                        .map(|s| steady_state_lane_utilization(s, lane::NPU))
+                        .unwrap_or(0.0),
+                    decoded_tokens: sessions[i].decoded_tokens(),
+                }
+            })
+            .collect();
+        ServingReport {
+            requests: trace.len(),
+            completed,
+            rejected: sim.rejected,
+            makespan_secs,
+            ttft_p50_secs: percentile(&sim.ttfts, 50.0),
+            ttft_p99_secs: percentile(&sim.ttfts, 99.0),
+            tbt_p50_secs: percentile(&sim.tbts, 50.0),
+            tbt_p99_secs: percentile(&sim.tbts, 99.0),
+            queue_wait_p50_secs: percentile(&sim.queue_waits, 50.0),
+            queue_wait_p99_secs: percentile(&sim.queue_waits, 99.0),
+            peak_queue_depth: queue.peak_depth(),
+            slo_good,
+            goodput_rps: if makespan_secs > 0.0 {
+                slo_good as f64 / makespan_secs
+            } else {
+                0.0
+            },
+            decoded_tokens,
+            tokens_per_sec: if makespan_secs > 0.0 {
+                decoded_tokens as f64 / makespan_secs
+            } else {
+                0.0
+            },
+            workers,
+            tenants,
+        }
+    }
+}
+
+impl SimState<'_> {
+    /// Advances worker `w` by one event: a monolithic prefill pass, an
+    /// interleaved decode+chunk step, or a plain decode step. Returns
+    /// the simulated time the event finished at.
+    fn step_worker(
+        &mut self,
+        w: usize,
+        sess: &mut DecodeSession<'_>,
+        ctx: &mut NpuContext,
+    ) -> SimResult<f64> {
+        let t0 = self.states[w].clock;
+        let has_active = sess.active_count() > 0;
+        let has_prefill = sess.prefilling_count() > 0;
+        let mut emitted: Vec<(SeqId, u32)> = Vec::new();
+        let mut chunk_done: Option<SeqId> = None;
+        let dur = match self.prefill {
+            PrefillMode::Monolithic if has_prefill => {
+                // The whole prompt was registered as one chunk: this
+                // pass completes it while every active decode stalls.
+                let chunk = sess.prefill_step(ctx, |_| 0)?.expect("prefilling");
+                debug_assert!(chunk.completed, "monolithic prompts land in one pass");
+                if chunk.completed {
+                    chunk_done = Some(chunk.id);
+                }
+                single_pass_secs(&chunk.stages)
+            }
+            _ => {
+                let decode_stages: Option<StepStages> = if has_active {
+                    emitted = sess.step(ctx, |_, _| 0)?;
+                    sess.last_step_stages().cloned()
+                } else {
+                    None
+                };
+                let chunk = if matches!(self.prefill, PrefillMode::Chunked { .. }) && has_prefill {
+                    sess.prefill_step(ctx, |_| 0)?
+                } else {
+                    None
+                };
+                if let Some(c) = &chunk {
+                    if c.completed {
+                        chunk_done = Some(c.id);
+                    }
+                }
+                match (&decode_stages, &chunk) {
+                    // Chunk rides the decode walk: one fused schedule.
+                    (Some(d), Some(c)) => steady_state_step_secs(&d.merged(&c.stages)),
+                    (Some(d), None) => steady_state_step_secs(d),
+                    (None, Some(c)) => single_pass_secs(&c.stages),
+                    (None, None) => unreachable!("stepped an idle worker"),
+                }
+            }
+        };
+        let t_end = t0 + dur;
+        let state = &mut self.states[w];
+        state.clock = t_end;
+        state.busy_secs += dur;
+        state.steps += 1;
+
+        // First token of a request whose prompt just completed.
+        if let Some(sid) = chunk_done {
+            let k = state
+                .seqs
+                .iter()
+                .position(|s| s.seq == sid)
+                .expect("prefilling sequence is tracked");
+            let req_i = state.seqs[k].req;
+            let r = &self.trace[req_i];
+            state.seqs[k].emitted = 1;
+            state.seqs[k].last_token = t_end;
+            let ttft = t_end - r.arrival_secs;
+            self.records[req_i].ttft = Some(ttft);
+            self.ttfts.push(ttft);
+            if r.output_len.min(r.max_new) <= 1 {
+                // The first token is the whole output. A budget of one
+                // already finished inside the session; otherwise the
+                // EOS retires the freshly activated sequence.
+                if r.max_new > 1 {
+                    sess.retire(sid)?;
+                }
+                state.seqs.remove(k);
+                self.records[req_i].finished = Some(t_end);
+                state.served += 1;
+            }
+        }
+
+        // Decode emissions: TBT samples, EOS-driven retirement.
+        for (sid, _token) in &emitted {
+            let k = state
+                .seqs
+                .iter()
+                .position(|s| s.seq == *sid)
+                .expect("decoding sequence is tracked");
+            let (req_i, finished_now, tbt) = {
+                let tr = &mut state.seqs[k];
+                tr.emitted += 1;
+                let tbt = t_end - tr.last_token;
+                tr.last_token = t_end;
+                let r = &self.trace[tr.req];
+                (tr.req, tr.emitted >= r.output_len.min(r.max_new), tbt)
+            };
+            self.tbts.push(tbt);
+            let rec = &mut self.records[req_i];
+            if tbt > rec.max_tbt {
+                rec.max_tbt = tbt;
+            }
+            if finished_now {
+                let tr = state.seqs.remove(k);
+                // EOS before the budget: retire explicitly, freeing the
+                // KV slot now. At the budget the session auto-retired.
+                if tr.emitted < self.trace[req_i].max_new {
+                    sess.retire(tr.seq)?;
+                }
+                rec.finished = Some(t_end);
+                state.served += 1;
+            }
+        }
+        Ok(t_end)
+    }
+
+    /// Admits queued requests while fleet capacity exists, placing each
+    /// on the worker minimizing its predicted completion. Requests no
+    /// worker could ever hold (prompt + budget exceed every context
+    /// capacity) are rejected — the per-request half of the `fits` gate.
+    fn try_dispatch(
+        &mut self,
+        now: f64,
+        queue: &mut AdmissionQueue,
+        sessions: &mut [DecodeSession<'_>],
+        oracles: &[WorkerOracle],
+        fleet: &FleetSpec,
+    ) -> SimResult<()> {
+        while let Some(ri) = queue.peek() {
+            let r = &self.trace[ri];
+            let feasible: Vec<usize> = (0..fleet.workers.len())
+                .filter(|&w| r.prompt_len + r.max_new <= fleet.workers[w].max_ctx)
+                .collect();
+            if feasible.is_empty() {
+                queue.pop();
+                self.records[ri].rejected = true;
+                self.rejected += 1;
+                continue;
+            }
+            let open: Vec<usize> = feasible
+                .into_iter()
+                .filter(|&w| sessions[w].has_free_slot())
+                .collect();
+            let Some(&best) = open.iter().min_by(|&&a, &&b| {
+                let pa = predicted_completion_secs(&oracles[a], self.states[a].clock.max(now), r);
+                let pb = predicted_completion_secs(&oracles[b], self.states[b].clock.max(now), r);
+                pa.total_cmp(&pb).then(a.cmp(&b))
+            }) else {
+                // Capacity exists somewhere but no slot is free yet:
+                // wait (head-of-line, priority order preserved).
+                break;
+            };
+            queue.pop();
+            let chunk = match self.prefill {
+                PrefillMode::Chunked { chunk_tokens } => chunk_tokens,
+                PrefillMode::Monolithic => r.prompt_len,
+            };
+            let was_idle = sessions[best].active_count() + sessions[best].prefilling_count() == 0;
+            // Cost-only prompts: token values never matter, length does.
+            let sid = sessions[best].admit_prompt(&vec![0u32; r.prompt_len], r.max_new, chunk)?;
+            if was_idle {
+                self.states[best].clock = self.states[best].clock.max(now);
+            }
+            self.states[best].seqs.push(SeqTrack {
+                seq: sid,
+                req: ri,
+                emitted: 0,
+                last_token: now,
+            });
+            self.queue_waits.push(now - r.arrival_secs);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::arrivals::{poisson_trace, replay_trace, TenantSpec};
+    use crate::serve::metrics::SloConfig;
+    use edgellm::config::ModelId;
+
+    fn tenants() -> [TenantSpec; 2] {
+        [TenantSpec::interactive("chat"), TenantSpec::batch("batch")]
+    }
+
+    #[test]
+    fn serve_trace_is_deterministic_and_conserves_requests() {
+        let trace = poisson_trace(&tenants(), 4.0, 12, 3);
+        let fleet = FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v75(), false);
+        let gw = FleetGateway::new(fleet, GatewayConfig::default()).unwrap();
+        let a = gw.serve_trace(&trace).unwrap();
+        let b = gw.serve_trace(&trace).unwrap();
+        assert_eq!(a.completed + a.rejected, 12);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.ttft_p99_secs, b.ttft_p99_secs);
+        assert_eq!(a.tbt_p99_secs, b.tbt_p99_secs);
+        assert!(a.ttft_p50_secs > 0.0);
+        assert!(a.makespan_secs >= trace.last().unwrap().arrival_secs);
+        // Tenant rows partition the trace.
+        let by_tenant: usize = a.tenants.iter().map(|t| t.requests).sum();
+        assert_eq!(by_tenant, 12);
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_tbt_against_monolithic_stalls() {
+        // A steady interactive stream plus mid-run long-prompt arrivals:
+        // monolithic prefill stalls the decode batch for the whole
+        // prompt pass, chunked prefill keeps p99 TBT near the
+        // no-arrivals steady state (the acceptance gate pins 2x).
+        let interactive = TenantSpec {
+            output_lens: (24, 32),
+            ..TenantSpec::interactive("chat")
+        };
+        let mut trace = replay_trace(
+            &interactive,
+            &[(0.0, 64, 28), (0.0, 64, 30), (0.0, 64, 32), (0.0, 64, 32)],
+        );
+        let long = replay_trace(
+            &TenantSpec::batch("ingest"),
+            &[(0.4, 512, 8), (0.8, 448, 8)],
+        );
+        for (i, mut r) in long.into_iter().enumerate() {
+            r.id = 100 + i as u64;
+            trace.push(r);
+        }
+        let fleet = FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v75(), false);
+        let chunked = FleetGateway::new(fleet.clone(), GatewayConfig::default()).unwrap();
+        let mono = FleetGateway::new(
+            fleet,
+            GatewayConfig {
+                prefill: PrefillMode::Monolithic,
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let rc = chunked.serve_trace(&trace).unwrap();
+        let rm = mono.serve_trace(&trace).unwrap();
+        assert_eq!(rc.completed, trace.len());
+        assert_eq!(rm.completed, trace.len());
+        // No-arrivals steady state: the oracle's full-batch step time.
+        let steady = chunked.oracles()[0].decode_step_secs;
+        assert!(
+            rc.tbt_p99_secs <= 2.0 * steady,
+            "chunked p99 TBT {} vs steady {steady}",
+            rc.tbt_p99_secs
+        );
+        assert!(
+            rm.tbt_p99_secs > rc.tbt_p99_secs,
+            "monolithic p99 {} must exceed chunked {}",
+            rm.tbt_p99_secs,
+            rc.tbt_p99_secs
+        );
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload_and_fleet_absorbs_it() {
+        let trace = poisson_trace(&tenants(), 12.0, 24, 9);
+        let config = GatewayConfig {
+            queue_capacity: 4,
+            ..GatewayConfig::default()
+        };
+        let single = FleetGateway::new(
+            FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v73(), true),
+            config,
+        )
+        .unwrap();
+        let rs = single.serve_trace(&trace).unwrap();
+        let fleet = FleetGateway::new(FleetSpec::heterogeneous(ModelId::Qwen1_5B), config).unwrap();
+        let rf = fleet.serve_trace(&trace).unwrap();
+        assert!(
+            rs.rejected > 0,
+            "overloaded single device must shed load, got {rs:?}"
+        );
+        assert!(
+            rf.rejected < rs.rejected,
+            "fleet rejections {} vs single {}",
+            rf.rejected,
+            rs.rejected
+        );
+        assert!(rf.completed > rs.completed);
+        // The streamed V73 exists in the fleet and did real work.
+        let v73 = rf.workers.iter().find(|w| w.name.contains("8G2")).unwrap();
+        assert!(v73.name.contains("streamed"));
+    }
+
+    #[test]
+    fn unplaceable_prompts_are_rejected_not_stuck() {
+        let t = TenantSpec {
+            prompt_lens: (4096, 4096),
+            ..TenantSpec::batch("huge")
+        };
+        let trace = replay_trace(&t, &[(0.0, 4096, 8)]);
+        let gw = FleetGateway::new(
+            FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v75(), false),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let r = gw.serve_trace(&trace).unwrap();
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn slo_goodput_counts_only_fast_completions() {
+        let trace = poisson_trace(&tenants(), 3.0, 8, 5);
+        let strict = GatewayConfig {
+            slo: SloConfig {
+                ttft_secs: 1e-6,
+                tbt_secs: 1e-6,
+            },
+            ..GatewayConfig::default()
+        };
+        let gw = FleetGateway::new(
+            FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v79(), false),
+            strict,
+        )
+        .unwrap();
+        let r = gw.serve_trace(&trace).unwrap();
+        assert_eq!(r.slo_good, 0, "nothing meets a microsecond SLO");
+        assert_eq!(r.goodput_rps, 0.0);
+        let relaxed = FleetGateway::new(
+            FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v79(), false),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let r2 = relaxed.serve_trace(&trace).unwrap();
+        assert!(r2.slo_good > 0);
+        assert!(r2.goodput_rps > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! SLO accounting for the serving gateway: latency percentiles and the
+//! goodput definition.
+//!
+//! A request is *good* when its time-to-first-token (arrival to first
+//! sampled token, queue wait included) and its worst time-between-tokens
+//! both land under the [`SloConfig`] targets; goodput is good requests
+//! per second of fleet wall time. The gateway reports p50/p99 of TTFT,
+//! TBT and queue wait via [`percentile`] (nearest-rank, deterministic).
+
+/// Latency targets a request must meet to count toward goodput.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// Time-to-first-token budget in seconds (queue wait + prefill).
+    pub ttft_secs: f64,
+    /// Per-request worst time-between-tokens budget in seconds.
+    pub tbt_secs: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            ttft_secs: 2.0,
+            tbt_secs: 0.5,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Whether a completed request with the given latencies meets the
+    /// SLO. Requests that emit a single token carry `max_tbt == 0`.
+    pub fn met(&self, ttft_secs: f64, max_tbt_secs: f64) -> bool {
+        ttft_secs <= self.ttft_secs && max_tbt_secs <= self.tbt_secs
+    }
+}
+
+/// Nearest-rank percentile of `samples` (`pct` in 0..=100); 0 when the
+/// sample set is empty. Sorts a copy — callers pass raw sample vectors.
+pub fn percentile(samples: &[f64], pct: f64) -> f64 {
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile {pct} out of range"
+    );
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 99.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn slo_requires_both_latencies() {
+        let slo = SloConfig {
+            ttft_secs: 1.0,
+            tbt_secs: 0.2,
+        };
+        assert!(slo.met(0.9, 0.1));
+        assert!(!slo.met(1.1, 0.1));
+        assert!(!slo.met(0.9, 0.3));
+        assert!(slo.met(1.0, 0.0));
+    }
+}

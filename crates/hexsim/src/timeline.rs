@@ -141,6 +141,18 @@ impl Timeline {
         self.lane_busy[lane]
     }
 
+    /// Busy fraction of one lane over the schedule's makespan (0 for an
+    /// empty timeline) — how much of the critical-path wall time the
+    /// lane's resource actually worked.
+    pub fn lane_utilization(&self, lane: usize) -> f64 {
+        let span = self.makespan();
+        if span > 0.0 {
+            self.lane_busy[lane] / span
+        } else {
+            0.0
+        }
+    }
+
     /// Sum of every task's duration — the wall time a fully serial
     /// executor would need. The makespan can never exceed this.
     pub fn serial_secs(&self) -> f64 {
@@ -220,6 +232,17 @@ mod tests {
         let a = tl.submit(0, 0.0, &[]);
         assert_eq!(tl.finish(a), 0.0);
         assert_eq!(tl.makespan(), 0.0);
+        assert_eq!(tl.lane_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn lane_utilization_is_busy_over_makespan() {
+        let mut tl = Timeline::new(2);
+        tl.submit(0, 1.0, &[]);
+        tl.submit(0, 1.0, &[]);
+        tl.submit(1, 4.0, &[]);
+        assert!((tl.lane_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((tl.lane_utilization(1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

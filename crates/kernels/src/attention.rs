@@ -216,16 +216,20 @@ impl<'a> FlashAttention<'a> {
         ctx.cost.charge_hvx_packets(o_regs * 2 + (g * nq) as u64);
         let out = if functional {
             let mut out = vec![F16::ZERO; g * nq * d];
+            // Chunked O writeback: divide into an f32 scratch row, then
+            // round the whole row at once (bit-identical to per-element
+            // `from_f32`).
+            let mut row_f = vec![0.0f32; d];
             for (row, &lv) in l.iter().enumerate() {
                 let denom = lv.to_f32();
-                for p in 0..d {
-                    let val = if denom > 0.0 {
+                for (p, slot) in row_f.iter_mut().enumerate() {
+                    *slot = if denom > 0.0 {
                         o[row * d + p] / denom
                     } else {
                         0.0
                     };
-                    out[row * d + p] = F16::from_f32(val);
                 }
+                F16::from_f32_slice(&row_f, &mut out[row * d..(row + 1) * d]);
             }
             out
         } else {
@@ -312,6 +316,20 @@ impl<'a> FlashAttention<'a> {
         // --- Functional math (charge-free; per query head of the group).
         if functional {
             let cols = kv_hi - kv_lo;
+            // Host staging, chunked F16 treatment: convert the group's Q
+            // rows and this block's K/V rows to f32 once instead of once
+            // per inner-loop visit. `to_f32` is exact and `from_f32_slice`
+            // is bitwise RTNE, so every sum below accumulates the same
+            // values in the same order — bit-identical to the elementwise
+            // loops (pinned by `staged_block_math_is_bit_identical_*`).
+            let qf = F16::vec_to_f32(&q[..rows * d]);
+            let kf = F16::vec_to_f32(&k[kv_lo * d..kv_hi * d]);
+            let vf = F16::vec_to_f32(&v[kv_lo * d..kv_hi * d]);
+            let mut s_row = vec![0.0f32; cols];
+            let mut p_half = vec![F16::ZERO; cols];
+            let mut p_row = vec![0.0f32; cols];
+            let mut o_row = vec![0.0f32; d];
+            let mut o_half = vec![F16::ZERO; d];
             for gh in 0..g {
                 let mut s_block = vec![F16::ZERO; nq * cols];
                 for i in 0..nq {
@@ -320,18 +338,18 @@ impl<'a> FlashAttention<'a> {
                         // `start + i` must not see KV positions beyond it.
                         if let Some(start) = causal_start {
                             if j > start + i {
-                                s_block[i * cols + jj] = F16::NEG_INFINITY;
+                                s_row[jj] = f32::NEG_INFINITY;
                                 continue;
                             }
                         }
                         let mut dot = 0.0f32;
                         for p in 0..d {
-                            dot += q[(gh * nq + i) * d + p].to_f32() * k[j * d + p].to_f32();
+                            dot += qf[(gh * nq + i) * d + p] * kf[jj * d + p];
                         }
-                        s_block[i * cols + jj] = F16::from_f32(dot * scale as f32);
+                        s_row[jj] = dot * scale as f32;
                     }
+                    F16::from_f32_slice(&s_row, &mut s_block[i * cols..(i + 1) * cols]);
                 }
-                let mut p_block = vec![F16::ZERO; nq * cols];
                 for i in 0..nq {
                     let row = gh * nq + i;
                     let mut row_max = m[row];
@@ -344,16 +362,18 @@ impl<'a> FlashAttention<'a> {
                         continue;
                     }
                     // P = exp(S - m_new), FP16 subtraction like vsub_hf.
-                    let mut rowsum = 0.0f32;
-                    for jj in 0..cols {
+                    for (jj, slot) in p_half.iter_mut().enumerate() {
                         let s_val = s_block[i * cols + jj];
-                        let e = if s_val == F16::NEG_INFINITY {
+                        *slot = if s_val == F16::NEG_INFINITY {
                             F16::ZERO
                         } else {
                             exp_scalar(ctx, self.lut, self.method, s_val.sub(row_max))
                         };
-                        p_block[i * cols + jj] = e;
-                        rowsum += e.to_f32();
+                    }
+                    F16::to_f32_slice(&p_half, &mut p_row);
+                    let mut rowsum = 0.0f32;
+                    for &e in &p_row {
+                        rowsum += e;
                     }
                     // Correction factor exp(m_old - m_new) in FP16.
                     let e_dm = exp_scalar(ctx, self.lut, self.method, m[row].sub(row_max));
@@ -361,15 +381,16 @@ impl<'a> FlashAttention<'a> {
                     l[row] = F16::from_f32(e_dm.to_f32() * l[row].to_f32() + rowsum);
                     // O rescale, then the PV accumulate (HMX writeback
                     // rounds the combined FP32 update to FP16 once).
-                    for p in 0..d {
+                    let e_dm_f = e_dm.to_f32();
+                    for (p, slot) in o_row.iter_mut().enumerate() {
                         let mut acc = 0.0f32;
                         for jj in 0..cols {
-                            acc +=
-                                p_block[i * cols + jj].to_f32() * v[(kv_lo + jj) * d + p].to_f32();
+                            acc += p_row[jj] * vf[jj * d + p];
                         }
-                        let updated = o[row * d + p] * e_dm.to_f32() + acc;
-                        o[row * d + p] = F16::from_f32(updated).to_f32();
+                        *slot = o[row * d + p] * e_dm_f + acc;
                     }
+                    F16::from_f32_slice(&o_row, &mut o_half);
+                    F16::to_f32_slice(&o_half, &mut o[row * d..(row + 1) * d]);
                     m[row] = row_max;
                 }
             }
@@ -391,14 +412,21 @@ pub fn attention_f32(
     d: usize,
 ) -> Vec<F16> {
     let scale = 1.0f32 / (d as f32).sqrt();
+    // Same chunked host staging as the flash kernel: Q/K/V convert once
+    // up front (`to_f32` is exact, so every accumulation below is
+    // bit-identical to converting inside the inner loops).
+    let qf = F16::vec_to_f32(q);
+    let kf = F16::vec_to_f32(k);
+    let vf = F16::vec_to_f32(v);
     let mut out = vec![F16::ZERO; heads * nq * d];
+    let mut o_row = vec![0.0f32; d];
     for h in 0..heads {
         for i in 0..nq {
             let mut s = vec![0.0f32; nkv];
             for (j, sj) in s.iter_mut().enumerate() {
                 let mut dot = 0.0f32;
                 for p in 0..d {
-                    dot += q[(h * nq + i) * d + p].to_f32() * k[j * d + p].to_f32();
+                    dot += qf[(h * nq + i) * d + p] * kf[j * d + p];
                 }
                 *sj = dot * scale;
             }
@@ -408,13 +436,15 @@ pub fn attention_f32(
                 *x = (*x - mx).exp();
                 sum += *x;
             }
-            for p in 0..d {
+            for (p, slot) in o_row.iter_mut().enumerate() {
                 let mut acc = 0.0f32;
                 for (j, &w) in s.iter().enumerate() {
-                    acc += w / sum * v[j * d + p].to_f32();
+                    acc += w / sum * vf[j * d + p];
                 }
-                out[(h * nq + i) * d + p] = F16::from_f32(acc);
+                *slot = acc;
             }
+            let lo = (h * nq + i) * d;
+            F16::from_f32_slice(&o_row, &mut out[lo..lo + d]);
         }
     }
     out
@@ -440,6 +470,210 @@ mod tests {
 
     fn to_f32(v: &[F16]) -> Vec<f32> {
         v.iter().map(|x| x.to_f32()).collect()
+    }
+
+    /// The flash kernel's functional math with per-element conversions in
+    /// every inner loop — the shape the code had before the chunked-F16
+    /// staging. The kernel must reproduce this bit-for-bit: staging only
+    /// hoists exact `to_f32` conversions and batches the RTNE roundings.
+    #[allow(clippy::too_many_arguments)]
+    fn flash_elementwise_ref(
+        ctx: &mut NpuContext,
+        lut: &ExpLut16,
+        method: ExpMethod,
+        kv_block: usize,
+        g: usize,
+        shape: AttnShape,
+        q: &[F16],
+        k: &[F16],
+        v: &[F16],
+        causal_start: Option<usize>,
+    ) -> Vec<F16> {
+        let AttnShape {
+            nq,
+            nkv,
+            head_dim: d,
+        } = shape;
+        let scale = 1.0 / (d as f64).sqrt();
+        let mut m = vec![F16::NEG_INFINITY; g * nq];
+        let mut l = vec![F16::ZERO; g * nq];
+        let mut o = vec![0.0f32; g * nq * d];
+        for b in 0..nkv.div_ceil(kv_block) {
+            let kv_lo = b * kv_block;
+            let kv_hi = ((b + 1) * kv_block).min(nkv);
+            let cols = kv_hi - kv_lo;
+            for gh in 0..g {
+                let mut s_block = vec![F16::ZERO; nq * cols];
+                for i in 0..nq {
+                    for (jj, j) in (kv_lo..kv_hi).enumerate() {
+                        if let Some(start) = causal_start {
+                            if j > start + i {
+                                s_block[i * cols + jj] = F16::NEG_INFINITY;
+                                continue;
+                            }
+                        }
+                        let mut dot = 0.0f32;
+                        for p in 0..d {
+                            dot += q[(gh * nq + i) * d + p].to_f32() * k[j * d + p].to_f32();
+                        }
+                        s_block[i * cols + jj] = F16::from_f32(dot * scale as f32);
+                    }
+                }
+                let mut p_block = vec![F16::ZERO; nq * cols];
+                for i in 0..nq {
+                    let row = gh * nq + i;
+                    let mut row_max = m[row];
+                    for jj in 0..cols {
+                        row_max = row_max.max(s_block[i * cols + jj]);
+                    }
+                    if row_max == F16::NEG_INFINITY {
+                        continue;
+                    }
+                    let mut rowsum = 0.0f32;
+                    for jj in 0..cols {
+                        let s_val = s_block[i * cols + jj];
+                        let e = if s_val == F16::NEG_INFINITY {
+                            F16::ZERO
+                        } else {
+                            exp_scalar(ctx, lut, method, s_val.sub(row_max))
+                        };
+                        p_block[i * cols + jj] = e;
+                        rowsum += e.to_f32();
+                    }
+                    let e_dm = exp_scalar(ctx, lut, method, m[row].sub(row_max));
+                    l[row] = F16::from_f32(e_dm.to_f32() * l[row].to_f32() + rowsum);
+                    for p in 0..d {
+                        let mut acc = 0.0f32;
+                        for jj in 0..cols {
+                            acc +=
+                                p_block[i * cols + jj].to_f32() * v[(kv_lo + jj) * d + p].to_f32();
+                        }
+                        let updated = o[row * d + p] * e_dm.to_f32() + acc;
+                        o[row * d + p] = F16::from_f32(updated).to_f32();
+                    }
+                    m[row] = row_max;
+                }
+            }
+        }
+        let mut out = vec![F16::ZERO; g * nq * d];
+        for (row, &lv) in l.iter().enumerate() {
+            let denom = lv.to_f32();
+            for p in 0..d {
+                let val = if denom > 0.0 {
+                    o[row * d + p] / denom
+                } else {
+                    0.0
+                };
+                out[row * d + p] = F16::from_f32(val);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn staged_block_math_is_bit_identical_to_elementwise() {
+        // Differential sweep over GQA group sizes, multi-block and
+        // partial-tail KV lengths, causal masks with fully-masked rows,
+        // value ranges that round to infinities, and all three exp
+        // methods: the staged kernel must match the per-element reference
+        // bit-for-bit everywhere.
+        let mut c = ctx();
+        let lut = ExpLut16::build(&mut c).unwrap();
+        // (g, nq, nkv, d, causal_start, seed, amp)
+        type Case = (usize, usize, usize, usize, Option<usize>, u64, f32);
+        let cases: &[Case] = &[
+            (1, 4, 160, 64, None, 3, 1.0),
+            (2, 3, 100, 32, None, 5, 1.0),
+            (6, 2, 300, 64, None, 9, 1.0),
+            (1, 8, 256, 128, Some(248), 11, 1.0),
+            (2, 5, 130, 32, Some(125), 13, 1.0),
+            (1, 1, 1, 32, Some(0), 17, 1.0),
+            (2, 4, 200, 64, None, 19, 16.0),
+            (1, 6, 140, 32, Some(134), 23, 16.0),
+        ];
+        for &(g, nq, nkv, d, causal, seed, amp) in cases {
+            for method in [ExpMethod::F32Poly, ExpMethod::F16Poly, ExpMethod::Lut16] {
+                let shape = AttnShape {
+                    nq,
+                    nkv,
+                    head_dim: d,
+                };
+                let q = rand_f16(g * nq * d, seed, amp);
+                let k = rand_f16(nkv * d, seed ^ 0xA5, amp);
+                let v = rand_f16(nkv * d, seed ^ 0x5A, amp);
+                let fa = FlashAttention {
+                    lut: &lut,
+                    method,
+                    kv_block: 128,
+                    q_heads_per_kv: g,
+                };
+                let (out, _) = fa.run_with_mask(&mut c, shape, &q, &k, &v, causal);
+                let reference =
+                    flash_elementwise_ref(&mut c, &lut, method, 128, g, shape, &q, &k, &v, causal);
+                assert_eq!(out.len(), reference.len());
+                for (idx, (a, b)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        a.0, b.0,
+                        "element {idx}: g={g} nq={nq} nkv={nkv} d={d} \
+                         causal={causal:?} amp={amp} {method:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staged_attention_f32_is_bit_identical_to_elementwise() {
+        // Same check for the Table 5 accuracy baseline: staging Q/K/V and
+        // batching the output rounding must not move a single bit.
+        let elementwise =
+            |q: &[F16], k: &[F16], v: &[F16], heads: usize, nq: usize, nkv: usize, d: usize| {
+                let scale = 1.0f32 / (d as f32).sqrt();
+                let mut out = vec![F16::ZERO; heads * nq * d];
+                for h in 0..heads {
+                    for i in 0..nq {
+                        let mut s = vec![0.0f32; nkv];
+                        for (j, sj) in s.iter_mut().enumerate() {
+                            let mut dot = 0.0f32;
+                            for p in 0..d {
+                                dot += q[(h * nq + i) * d + p].to_f32() * k[j * d + p].to_f32();
+                            }
+                            *sj = dot * scale;
+                        }
+                        let mx = s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0f32;
+                        for x in s.iter_mut() {
+                            *x = (*x - mx).exp();
+                            sum += *x;
+                        }
+                        for p in 0..d {
+                            let mut acc = 0.0f32;
+                            for (j, &w) in s.iter().enumerate() {
+                                acc += w / sum * v[j * d + p].to_f32();
+                            }
+                            out[(h * nq + i) * d + p] = F16::from_f32(acc);
+                        }
+                    }
+                }
+                out
+            };
+        for &(heads, nq, nkv, d, seed, amp) in &[
+            (1usize, 4usize, 96usize, 64usize, 3u64, 1.0f32),
+            (2, 3, 100, 32, 7, 1.0),
+            (4, 2, 33, 64, 11, 16.0),
+        ] {
+            let q = rand_f16(heads * nq * d, seed, amp);
+            let k = rand_f16(nkv * d, seed ^ 0xA5, amp);
+            let v = rand_f16(nkv * d, seed ^ 0x5A, amp);
+            let staged = attention_f32(&q, &k, &v, heads, nq, nkv, d);
+            let reference = elementwise(&q, &k, &v, heads, nq, nkv, d);
+            for (idx, (a, b)) in staged.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    a.0, b.0,
+                    "element {idx}: heads={heads} nq={nq} nkv={nkv} d={d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -264,7 +264,11 @@ mod tests {
         // chunked slice converter. Exhaustively pack every one of the
         // 65536 f16 bit patterns (including NaNs, infinities and
         // subnormals) into vectors and check the chunked sum reproduces
-        // the per-lane `get_hf().to_f32()` sum bit-for-bit.
+        // the per-lane `get_hf().to_f32()` sum bit-for-bit. The one block
+        // whose sum is NaN is compared as NaN-ness only: which input
+        // NaN's payload survives a chain of additions depends on the
+        // operand order the compiler emits, which IEEE 754 leaves
+        // unspecified and codegen is free to flip between the two loops.
         use hexsim::hvx::HvxVec;
         for block in 0..(1usize << 16) / HVX_HALVES {
             let mut v = HvxVec::zero();
@@ -285,7 +289,11 @@ mod tests {
             for &x in &lanes_f32 {
                 chunked += x as f64;
             }
-            assert_eq!(reference.to_bits(), chunked.to_bits(), "block {block}");
+            if reference.is_nan() {
+                assert!(chunked.is_nan(), "block {block}");
+            } else {
+                assert_eq!(reference.to_bits(), chunked.to_bits(), "block {block}");
+            }
         }
     }
 

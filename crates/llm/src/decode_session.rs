@@ -73,6 +73,7 @@ use hexsim::prelude::*;
 
 use crate::kv_cache::{KvCache, KvSeqSnapshot};
 use crate::model::{Model, StepCost};
+use crate::overlap::StepStages;
 
 /// Stable identifier of one admitted sequence, assigned in admission
 /// order starting from zero.
@@ -108,6 +109,41 @@ struct QueuedSeq {
     max_new: usize,
 }
 
+/// A sequence whose *own* prompt (unrelated to the session's shared
+/// prompt) is being prefilled into its reserved KV slot chunk by chunk
+/// (admitted via [`DecodeSession::admit_prompt`]).
+struct PrefillingSeq {
+    id: SeqId,
+    slot: usize,
+    prompt: Vec<u32>,
+    /// Prompt tokens prefilled into the slot so far.
+    fed: usize,
+    max_new: usize,
+    chunk: usize,
+}
+
+/// Progress report of one [`DecodeSession::prefill_step`] chunk: which
+/// sequence advanced, how far its prompt has been fed, and the chunk's
+/// forward cost/stages — the stages are what a serving scheduler charges
+/// into the overlap critical path when it interleaves the chunk with a
+/// decode step ([`StepStages::merged`]).
+#[derive(Debug)]
+pub struct PrefillChunk {
+    /// Sequence the chunk belongs to.
+    pub id: SeqId,
+    /// Prompt tokens fed after this chunk.
+    pub fed: usize,
+    /// Total prompt length of the sequence.
+    pub prompt_len: usize,
+    /// Cost of this chunk's forward pass.
+    pub cost: StepCost,
+    /// Stage breakdown of this chunk's forward pass.
+    pub stages: StepStages,
+    /// Whether the prompt completed — the sequence sampled its first
+    /// token and is now active for decode.
+    pub completed: bool,
+}
+
 /// Continuous-batching decode over one model and one shared prompt.
 pub struct DecodeSession<'m> {
     model: &'m Model,
@@ -115,14 +151,20 @@ pub struct DecodeSession<'m> {
     prompt: KvSeqSnapshot,
     prompt_logits: Vec<f32>,
     prefill_cost: StepCost,
-    /// One entry per KV slot; `None` marks a free slot.
+    /// One entry per KV slot; `None` marks a slot with no *active*
+    /// sequence (it may still be reserved by a prefilling one).
     slots: Vec<Option<ActiveSeq>>,
     queue: VecDeque<QueuedSeq>,
+    /// Sequences whose own prompt is mid-prefill, oldest first; each
+    /// reserves the slot it is prefilling into.
+    prefilling: Vec<PrefillingSeq>,
     finished: Vec<FinishedSeq>,
     next_id: SeqId,
     steps: usize,
     decode_cost: StepCost,
     decoded_tokens: usize,
+    /// Stage breakdown of the most recent decode step.
+    last_stages: Option<StepStages>,
 }
 
 impl<'m> DecodeSession<'m> {
@@ -158,11 +200,13 @@ impl<'m> DecodeSession<'m> {
             prefill_cost: out.cost,
             slots: (0..max_batch).map(|_| None).collect(),
             queue: VecDeque::new(),
+            prefilling: Vec::new(),
             finished: Vec::new(),
             next_id: 0,
             steps: 0,
             decode_cost: StepCost::default(),
             decoded_tokens: 0,
+            last_stages: None,
         })
     }
 
@@ -171,6 +215,12 @@ impl<'m> DecodeSession<'m> {
     /// [`Self::prompt_logits`]); the sequence may emit `max_new_tokens`
     /// tokens in total before it auto-retires. If every slot is busy the
     /// sequence queues and activates as soon as a slot retires.
+    ///
+    /// **Invariant:** every sequence admitted this way shares the prompt
+    /// the session was opened with — activation restores the one prompt
+    /// KV snapshot into the freed slot. Heterogeneous per-request
+    /// prompts go through [`Self::admit_prompt`], which prefills the
+    /// request's own prompt into its slot chunk by chunk instead.
     pub fn admit(&mut self, first_token: u32, max_new_tokens: usize) -> SimResult<SeqId> {
         assert!(max_new_tokens >= 1, "a sequence emits at least one token");
         let id = self.next_id;
@@ -192,6 +242,116 @@ impl<'m> DecodeSession<'m> {
             }),
         }
         Ok(id)
+    }
+
+    /// Admits a sequence with its *own* prompt (heterogeneous prompt
+    /// lengths — the serving-gateway admission path): reserves a free KV
+    /// slot and registers the prompt to be prefilled into it in chunks
+    /// of `chunk_tokens` via [`Self::prefill_step`]. When the last chunk
+    /// lands, the sequence samples its first token from that chunk's
+    /// final-position logits and joins the decode batch.
+    ///
+    /// Unlike [`Self::admit`], this requires a free slot up front
+    /// (errors otherwise): a gateway holds its own admission queue and
+    /// only admits when capacity exists, so queueing whole prompts here
+    /// would duplicate that machinery.
+    pub fn admit_prompt(
+        &mut self,
+        prompt_tokens: &[u32],
+        max_new_tokens: usize,
+        chunk_tokens: usize,
+    ) -> SimResult<SeqId> {
+        assert!(max_new_tokens >= 1, "a sequence emits at least one token");
+        assert!(chunk_tokens >= 1, "chunks carry at least one token");
+        assert!(!prompt_tokens.is_empty(), "prompt must be non-empty");
+        let Some(slot) = self.free_slot() else {
+            return Err(SimError::Unsupported {
+                reason: format!(
+                    "admit_prompt needs a free KV slot ({} active, {} prefilling of {})",
+                    self.active_count(),
+                    self.prefilling.len(),
+                    self.slots.len()
+                ),
+            });
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cache.reset_seq(slot);
+        self.prefilling.push(PrefillingSeq {
+            id,
+            slot,
+            prompt: prompt_tokens.to_vec(),
+            fed: 0,
+            max_new: max_new_tokens,
+            chunk: chunk_tokens,
+        });
+        Ok(id)
+    }
+
+    /// Feeds the next prompt chunk of the oldest prefilling sequence
+    /// (FIFO across [`Self::admit_prompt`] admissions). If the chunk
+    /// completes the prompt, `sample` maps the chunk's final-position
+    /// logits (empty in cost-only mode) to the sequence's first token
+    /// and the sequence activates for decode. Returns `None` when no
+    /// sequence is prefilling.
+    ///
+    /// The returned [`PrefillChunk`] carries the chunk's [`StepStages`]
+    /// so a scheduler can charge it into the same critical-path model as
+    /// the decode step it interleaves with.
+    pub fn prefill_step<F>(
+        &mut self,
+        ctx: &mut NpuContext,
+        sample: F,
+    ) -> SimResult<Option<PrefillChunk>>
+    where
+        F: FnOnce(&[f32]) -> u32,
+    {
+        if self.prefilling.is_empty() {
+            return Ok(None);
+        }
+        let p = &self.prefilling[0];
+        let (slot, lo) = (p.slot, p.fed);
+        let hi = (lo + p.chunk).min(p.prompt.len());
+        let span = p.prompt[lo..hi].to_vec();
+        let out = self.model.prefill(ctx, &mut self.cache, slot, &span)?;
+        self.prefill_cost.add(&out.cost);
+        let p = &mut self.prefilling[0];
+        p.fed = hi;
+        let completed = hi == p.prompt.len();
+        let chunk = PrefillChunk {
+            id: p.id,
+            fed: hi,
+            prompt_len: p.prompt.len(),
+            cost: out.cost,
+            stages: out.stages,
+            completed,
+        };
+        if completed {
+            let p = self.prefilling.remove(0);
+            let first = sample(&out.logits);
+            if p.max_new == 1 {
+                // The first token is the whole output: finish now and
+                // hand the slot back (to the shared-prompt queue first,
+                // matching retirement order).
+                self.cache.reset_seq(p.slot);
+                self.finished.push(FinishedSeq {
+                    id: p.id,
+                    tokens: vec![first],
+                });
+                if let Some(q) = self.queue.pop_front() {
+                    self.activate(p.slot, q.id, q.first, q.max_new)?;
+                }
+            } else {
+                self.slots[p.slot] = Some(ActiveSeq {
+                    id: p.id,
+                    current: first,
+                    emitted: 1,
+                    max_new: p.max_new,
+                    tokens: vec![first],
+                });
+            }
+        }
+        Ok(Some(chunk))
     }
 
     /// Runs one batched decode step over every active slot. `sample` maps
@@ -224,6 +384,7 @@ impl<'m> DecodeSession<'m> {
             .decode_step_for(ctx, &mut self.cache, &seqs, &tokens)?;
         self.steps += 1;
         self.decode_cost.add(&out.cost);
+        self.last_stages = Some(out.stages);
 
         let vocab = self.model.cfg.vocab;
         let mut emitted = Vec::with_capacity(seqs.len());
@@ -251,8 +412,9 @@ impl<'m> DecodeSession<'m> {
     }
 
     /// Retires a sequence early (e.g. on EOS): frees its KV slot — or
-    /// removes it from the queue — and refills the slot from the queue.
-    /// Errors on unknown or already-finished ids.
+    /// removes it from the queue, or abandons its partial prompt prefill
+    /// — and refills the slot from the queue. Errors on unknown or
+    /// already-finished ids.
     pub fn retire(&mut self, id: SeqId) -> SimResult<()> {
         if let Some(slot) = self
             .slots
@@ -269,8 +431,21 @@ impl<'m> DecodeSession<'m> {
             });
             return Ok(());
         }
+        if let Some(pi) = self.prefilling.iter().position(|p| p.id == id) {
+            // Abandoned mid-prefill: drop the partial KV, emit nothing.
+            let p = self.prefilling.remove(pi);
+            self.cache.reset_seq(p.slot);
+            self.finished.push(FinishedSeq {
+                id: p.id,
+                tokens: Vec::new(),
+            });
+            if let Some(q) = self.queue.pop_front() {
+                self.activate(p.slot, q.id, q.first, q.max_new)?;
+            }
+            return Ok(());
+        }
         Err(SimError::Unsupported {
-            reason: format!("sequence {id} is not active or queued"),
+            reason: format!("sequence {id} is not active, queued, or prefilling"),
         })
     }
 
@@ -280,7 +455,8 @@ impl<'m> DecodeSession<'m> {
         &self.prompt_logits
     }
 
-    /// Cost of the one-time prompt prefill.
+    /// Cost of the one-time shared-prompt prefill, plus every
+    /// per-sequence prompt chunk fed through [`Self::prefill_step`].
     pub fn prefill_cost(&self) -> StepCost {
         self.prefill_cost
     }
@@ -293,6 +469,25 @@ impl<'m> DecodeSession<'m> {
     /// Number of admitted sequences waiting for a slot.
     pub fn queued_count(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of sequences whose own prompt is mid-prefill (admitted via
+    /// [`Self::admit_prompt`], each holding a reserved slot).
+    pub fn prefilling_count(&self) -> usize {
+        self.prefilling.len()
+    }
+
+    /// Whether a KV slot is free (neither active nor reserved by a
+    /// prefilling sequence) — the gateway's pre-admission check.
+    pub fn has_free_slot(&self) -> bool {
+        self.free_slot().is_some()
+    }
+
+    /// Stage breakdown of the most recent decode step, for schedulers
+    /// that interleave prefill chunks with decode on the overlap
+    /// critical path (`None` before the first step).
+    pub fn last_step_stages(&self) -> Option<&StepStages> {
+        self.last_stages.as_ref()
     }
 
     /// Slot-pool size (the maximum decode batch).
@@ -361,7 +556,8 @@ impl<'m> DecodeSession<'m> {
     }
 
     fn free_slot(&self) -> Option<usize> {
-        self.slots.iter().position(|s| s.is_none())
+        (0..self.slots.len())
+            .find(|&s| self.slots[s].is_none() && !self.prefilling.iter().any(|p| p.slot == s))
     }
 
     fn activate(&mut self, slot: usize, id: SeqId, first: u32, max_new: usize) -> SimResult<()> {
@@ -481,6 +677,123 @@ mod tests {
         let prompt = vec![2u32; 16];
         assert!(DecodeSession::new(&mut ctx, &model, &prompt, 2, 4).is_err());
         assert_eq!(ctx.ddr_mapped_bytes(), before, "failed open must not leak");
+    }
+
+    fn greedy(logits: &[f32]) -> u32 {
+        let mut best = 0usize;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    #[test]
+    fn chunked_prompt_admission_matches_single_shot() {
+        // The same per-request prompt prefilled in chunks of 2 and in one
+        // shot must sample the identical first token and decode the
+        // identical continuation: Model::prefill continues from the KV
+        // length, so chunking is a scheduling choice, not a numeric one.
+        let (mut ctx, model) = setup();
+        let shared = [2u32, 10, 11];
+        let own_prompt = [2u32, 7, 8, 9, 3];
+        let mut tokens_by_chunk: Vec<Vec<u32>> = Vec::new();
+        for chunk in [own_prompt.len(), 2] {
+            let mut s = DecodeSession::new(&mut ctx, &model, &shared, 2, 64).unwrap();
+            let id = s.admit_prompt(&own_prompt, 4, chunk).unwrap();
+            assert_eq!(s.prefilling_count(), 1);
+            assert_eq!(s.active_count(), 0);
+            let mut chunks = 0;
+            while s.prefilling_count() > 0 {
+                let c = s.prefill_step(&mut ctx, greedy).unwrap().unwrap();
+                chunks += 1;
+                assert_eq!(c.id, id);
+                assert_eq!(c.prompt_len, own_prompt.len());
+                assert!(c.fed <= own_prompt.len());
+                assert_eq!(c.completed, c.fed == own_prompt.len());
+                assert!(c.stages.layers.len() == model.cfg.layers);
+            }
+            assert_eq!(chunks, own_prompt.len().div_ceil(chunk));
+            assert_eq!(s.active_count(), 1);
+            drain(&mut s, &mut ctx, 8);
+            let done = s.into_finished(&mut ctx);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].tokens.len(), 4);
+            tokens_by_chunk.push(done[0].tokens.clone());
+        }
+        assert_eq!(tokens_by_chunk[0], tokens_by_chunk[1]);
+    }
+
+    #[test]
+    fn prefilling_sequences_reserve_their_slot() {
+        let (mut ctx, model) = setup();
+        let shared = [2u32, 10];
+        let mut s = DecodeSession::new(&mut ctx, &model, &shared, 2, 64).unwrap();
+        let p = s.admit_prompt(&[2u32, 5, 6], 3, 2).unwrap();
+        assert!(s.has_free_slot());
+        // The shared-prompt admission takes the one remaining slot...
+        s.admit(40, 3).unwrap();
+        assert!(!s.has_free_slot());
+        // ...so a second own-prompt admission has nowhere to go.
+        assert!(s.admit_prompt(&[2u32, 5], 2, 2).is_err());
+        // And shared-prompt admissions queue rather than stealing the
+        // reserved slot.
+        s.admit(41, 3).unwrap();
+        assert_eq!(s.queued_count(), 1);
+        assert_eq!(s.prefilling_count(), 1);
+        // Retiring the mid-prefill sequence abandons it (no tokens) and
+        // hands the slot to the queue head.
+        s.retire(p).unwrap();
+        assert_eq!(s.prefilling_count(), 0);
+        assert_eq!(s.queued_count(), 0);
+        assert_eq!(s.active_count(), 2);
+        let empty = s.finished().iter().find(|f| f.id == p).unwrap();
+        assert!(empty.tokens.is_empty());
+        drain(&mut s, &mut ctx, 8);
+        assert_eq!(s.finished().len(), 3);
+        s.release(&mut ctx);
+    }
+
+    #[test]
+    fn single_token_prompt_budget_finishes_at_prefill_completion() {
+        let (mut ctx, model) = setup();
+        let mut s = DecodeSession::new(&mut ctx, &model, &[2u32, 10], 1, 32).unwrap();
+        s.admit_prompt(&[2u32, 4, 5], 1, 8).unwrap();
+        let c = s.prefill_step(&mut ctx, greedy).unwrap().unwrap();
+        assert!(c.completed);
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.finished().len(), 1);
+        assert_eq!(s.finished()[0].tokens.len(), 1);
+        assert!(s.has_free_slot(), "slot returns immediately");
+        assert!(s.prefill_step(&mut ctx, greedy).unwrap().is_none());
+        s.release(&mut ctx);
+    }
+
+    #[test]
+    fn prefill_chunks_accumulate_into_prefill_cost() {
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::CostOnly);
+        let model =
+            Model::new(&mut ctx, ModelId::Qwen1_5B, DequantVariant::CoalescedLut, 1).unwrap();
+        let mut s = DecodeSession::new(&mut ctx, &model, &[0u32; 8], 2, 256).unwrap();
+        let base = s.prefill_cost().wall_secs();
+        s.admit_prompt(&vec![0u32; 64], 4, 16).unwrap();
+        let mut last = base;
+        for _ in 0..4 {
+            let c = s.prefill_step(&mut ctx, |_| 0).unwrap().unwrap();
+            assert!(c.cost.wall_secs() > 0.0);
+            let now = s.prefill_cost().wall_secs();
+            assert!(now > last, "each chunk charges prefill cost");
+            last = now;
+        }
+        assert_eq!(s.prefilling_count(), 0);
+        assert_eq!(s.active_count(), 1);
+        // The chunk stages expose a full layer walk for the overlap
+        // scheduler to merge with a decode step's stages.
+        s.step(&mut ctx, |_, _| 0).unwrap();
+        let decode_st = s.last_step_stages().unwrap().clone();
+        assert_eq!(decode_st.layers.len(), model.cfg.layers);
+        s.release(&mut ctx);
     }
 
     #[test]

@@ -172,6 +172,53 @@ impl StepStages {
         }
         total + switches as f64 * self.switch_secs
     }
+
+    /// Fuses two stage breakdowns of the *same* layer walk into the stage
+    /// breakdown of a single combined walk — the cost model of chunked
+    /// prefill interleaved with decode (the serving gateway rides a
+    /// prompt chunk through the decode batch's walk instead of running a
+    /// separate pass).
+    ///
+    /// Per layer, row-proportional compute adds (`npu_secs` sums) while
+    /// per-walk overheads are paid once: command dispatch rides the same
+    /// ring slot (`dispatch_secs` max), a layer's weights are fetched once
+    /// no matter how many rows consume them (`weight_fetch_secs` max), and
+    /// a shard boundary switches sessions once (`switch_before` OR,
+    /// `switch_secs` max). CPU embedding/head work and the final norm are
+    /// row-proportional and sum; `batch` sums so the CPU-streaming model
+    /// sees the combined row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two walks have different layer counts — they must
+    /// describe the same model.
+    pub fn merged(&self, other: &StepStages) -> StepStages {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "merged walks must traverse the same layers"
+        );
+        let layers = self
+            .layers
+            .iter()
+            .zip(other.layers.iter())
+            .map(|(a, b)| LayerStage {
+                npu_secs: a.npu_secs + b.npu_secs,
+                dispatch_secs: a.dispatch_secs.max(b.dispatch_secs),
+                switch_before: a.switch_before || b.switch_before,
+                weight_fetch_secs: a.weight_fetch_secs.max(b.weight_fetch_secs),
+            })
+            .collect();
+        StepStages {
+            cpu_embed_secs: self.cpu_embed_secs + other.cpu_embed_secs,
+            layers,
+            final_npu_secs: self.final_npu_secs + other.final_npu_secs,
+            cpu_head_secs: self.cpu_head_secs + other.cpu_head_secs,
+            switch_secs: self.switch_secs.max(other.switch_secs),
+            wrap_switch: self.wrap_switch || other.wrap_switch,
+            batch: self.batch + other.batch,
+        }
+    }
 }
 
 /// Tasks of one scheduled iteration that later iterations depend on.
@@ -321,6 +368,22 @@ pub fn steady_state_step_secs(st: &StepStages) -> f64 {
     // head of the next iteration's CPU block); nothing to add. Guard
     // against float drift pushing past the serial bound.
     period.min(st.serial_secs())
+}
+
+/// Steady-state busy fraction of one lane under the pipelined schedule:
+/// the same iterations as [`steady_state_step_secs`] are scheduled and
+/// the lane's busy seconds are divided by the schedule's makespan. The
+/// NPU lane's fraction is the accelerator utilization a serving gateway
+/// reports per device; the DMA lane's fraction shows how close weight
+/// streaming runs to bandwidth-bound.
+pub fn steady_state_lane_utilization(st: &StepStages, lane_idx: usize) -> f64 {
+    let mut tl = Timeline::new(lane::COUNT);
+    let mut prev: Option<IterTasks> = None;
+    for _ in 0..STEADY_ITERS {
+        let it = submit_iteration(&mut tl, st, prev.as_ref());
+        prev = Some(it);
+    }
+    tl.lane_utilization(lane_idx)
 }
 
 /// Wall seconds of one *standalone* pass (prefill): a single iteration
@@ -515,6 +578,54 @@ mod tests {
         assert!(got > 0.0 && got <= st.serial_secs());
         let one = single_pass_secs(&st);
         assert!(one > 0.0 && one <= st.serial_secs());
+    }
+
+    #[test]
+    fn npu_lane_dominates_utilization_in_compute_bound_steps() {
+        // 20 ms of NPU kernels against a ~1 ms critical-path slack: the
+        // NPU lane stays near fully busy while dispatch idles.
+        let st = stages(8);
+        let npu = steady_state_lane_utilization(&st, lane::NPU);
+        let disp = steady_state_lane_utilization(&st, lane::DISPATCH);
+        assert!(npu > 0.85, "npu lane {npu}");
+        assert!(disp < npu, "dispatch {disp} vs npu {npu}");
+        assert!((0.0..=1.0).contains(&npu) && (0.0..=1.0).contains(&disp));
+    }
+
+    #[test]
+    fn merged_walk_sums_compute_and_shares_overheads() {
+        let mut a = stages(8);
+        a.layers[1].switch_before = true;
+        a.switch_secs = 30e-6;
+        a.layers[0].weight_fetch_secs = 2e-3;
+        let mut b = stages(2);
+        b.layers[0].weight_fetch_secs = 3e-3;
+        let m = a.merged(&b);
+        assert_eq!(m.layers.len(), 2);
+        assert_eq!(m.batch, 10);
+        // Compute sums; dispatch and fetch are paid once (max).
+        assert!((m.layers[0].npu_secs - 20e-3).abs() < 1e-15);
+        assert!((m.layers[0].dispatch_secs - 1e-3).abs() < 1e-15);
+        assert!((m.layers[0].weight_fetch_secs - 3e-3).abs() < 1e-15);
+        assert!(m.layers[1].switch_before);
+        assert!((m.switch_secs - 30e-6).abs() < 1e-15);
+        assert!((m.cpu_head_secs - 16e-3).abs() < 1e-15);
+        // The fused walk can never beat either walk alone, and can never
+        // cost more than running the two serially.
+        let fused = steady_state_step_secs(&m);
+        let sa = steady_state_step_secs(&a);
+        let sb = steady_state_step_secs(&b);
+        assert!(fused >= sa.max(sb) - 1e-12, "{fused} vs {sa}/{sb}");
+        assert!(fused <= sa + sb + 1e-12, "{fused} vs {sa}+{sb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same layers")]
+    fn merged_rejects_mismatched_walks() {
+        let a = stages(8);
+        let mut b = stages(8);
+        b.layers.truncate(1);
+        let _ = a.merged(&b);
     }
 
     #[test]

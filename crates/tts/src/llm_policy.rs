@@ -345,6 +345,117 @@ pub fn llm_bon_fixed_batch(
     })
 }
 
+/// Knobs for [`llm_serve_eos`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeEosConfig {
+    /// Samples to serve.
+    pub n: usize,
+    /// Per-sample token budget (the EOS predicate usually fires first).
+    pub max_new_tokens: usize,
+    /// Concurrent decode slots.
+    pub max_batch: usize,
+    /// Sampling seed (xored with the task id).
+    pub seed: u64,
+}
+
+/// Outcome of an EOS-driven serving run: the decode-side numbers plus the
+/// realized per-sample lengths the EOS predicate produced.
+#[derive(Clone, Debug)]
+pub struct ServeEosOutcome {
+    /// Decode-side report. Every decoded token is useful here: EOS
+    /// retirement means nothing past a sample's end is ever decoded.
+    pub report: BatchedBonReport,
+    /// Realized lengths in admission order, admission token included.
+    pub realized_lengths: Vec<usize>,
+    /// Samples whose final token fired the EOS predicate (the rest ran
+    /// into the `max_new_tokens` budget).
+    pub eos_finishes: usize,
+}
+
+/// EOS-driven serving through the continuous-batching [`DecodeSession`]:
+/// `n` samples share one prompt prefill and decode under a token budget,
+/// but each sample is retired the moment `is_eos` fires on its sampled
+/// token, and the freed slot is refilled from the queue in the same step.
+/// A static fixed batch has to decode every slot to the longest sample,
+/// so on mixed realized lengths the EOS path turns the early finishers'
+/// slack into useful throughput — the serving gateway's goodput claim
+/// demonstrated at the functional policy layer.
+pub fn llm_serve_eos(
+    ctx: &mut NpuContext,
+    model: &Model,
+    task: &MathTask,
+    cfg: ServeEosConfig,
+    is_eos: impl Fn(u32) -> bool,
+) -> SimResult<ServeEosOutcome> {
+    assert!(cfg.n >= 1);
+    assert!(cfg.max_new_tokens >= 1);
+    assert_eq!(
+        ctx.mode,
+        ExecMode::Functional,
+        "end-to-end runs are functional"
+    );
+    let tok = Tokenizer::new();
+    let prompt = format!("{}\nAnswer: ", task.statement);
+    let prompt_tokens = tok.encode_with_bos(&prompt);
+    let budget =
+        cfg.max_batch * (prompt_tokens.len() + cfg.max_new_tokens + 2) + prompt_tokens.len();
+
+    let mut session = DecodeSession::new(ctx, model, &prompt_tokens, cfg.max_batch, budget)?;
+    let sampler = LlmSampler::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ task.id);
+    for _ in 0..cfg.n {
+        let first = sampler.sample(session.prompt_logits(), &mut rng);
+        let id = session.admit(first, cfg.max_new_tokens)?;
+        // An EOS admission token ends the sample before it decodes at all
+        // (budget-1 samples already finished inside admit).
+        if cfg.max_new_tokens > 1 && is_eos(first) {
+            session.retire(id)?;
+        }
+    }
+    // Tokens per sample including the admission token, to tell a budget
+    // auto-retire (already finished) from an EOS early retire.
+    let mut emitted = vec![1usize; cfg.n];
+    while session.active_count() > 0 {
+        let sampled = session.step(ctx, |_, row| sampler.sample(row, &mut rng))?;
+        for (id, token) in sampled {
+            let i = id as usize;
+            emitted[i] += 1;
+            if is_eos(token) && emitted[i] < cfg.max_new_tokens {
+                session.retire(id)?;
+            }
+        }
+    }
+
+    let useful_tokens = session.decoded_tokens();
+    let decode_secs = session.decode_secs();
+    let steps = session.steps();
+    let mut total_cost = session.prefill_cost();
+    total_cost.add(&session.decode_cost());
+    let finished = session.into_finished(ctx);
+    let realized_lengths: Vec<usize> = finished.iter().map(|f| f.tokens.len()).collect();
+    let eos_finishes = finished
+        .iter()
+        .filter(|f| f.tokens.last().map(|&t| is_eos(t)).unwrap_or(false))
+        .count();
+    let completions = finished.iter().map(|f| tok.decode(&f.tokens)).collect();
+    Ok(ServeEosOutcome {
+        report: BatchedBonReport {
+            completions,
+            useful_tokens,
+            decode_secs,
+            tokens_per_sec: if decode_secs > 0.0 {
+                useful_tokens as f64 / decode_secs
+            } else {
+                0.0
+            },
+            steps,
+            total_cost,
+        },
+        realized_lengths,
+        eos_finishes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +592,51 @@ mod tests {
             fixed.tokens_per_sec
         );
         assert!(cont.decode_secs < fixed.decode_secs);
+    }
+
+    #[test]
+    fn eos_retirement_beats_fixed_batch_on_realized_lengths() {
+        // Lengths are *realized* by an EOS predicate instead of assigned
+        // up front — the serving-gateway shape. The EOS path retires each
+        // sample the step its terminator is sampled; the fixed batch then
+        // replays the same realized lengths with static-graph semantics
+        // (each wave decodes to its longest sample).
+        let cfg = ServeEosConfig {
+            n: 8,
+            max_new_tokens: 16,
+            max_batch: 4,
+            seed: 11,
+        };
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 3).unwrap();
+        let task = TaskGenerator::new(DatasetKind::Gsm8kLike, 5).next_task();
+        let eos = llm_serve_eos(&mut ctx, &model, &task, cfg, |t| t % 5 == 0).unwrap();
+        assert_eq!(eos.realized_lengths.len(), cfg.n);
+        let min = *eos.realized_lengths.iter().min().unwrap();
+        let max = *eos.realized_lengths.iter().max().unwrap();
+        assert!(
+            min < max && eos.eos_finishes > 0,
+            "predicate produced no length mix: {:?}",
+            eos.realized_lengths
+        );
+        // Every decoded token on the EOS path is useful.
+        let expected: usize = eos.realized_lengths.iter().map(|l| l - 1).sum();
+        assert_eq!(eos.report.useful_tokens, expected);
+        let fixed = llm_bon_fixed_batch(
+            &mut ctx,
+            &model,
+            &task,
+            &eos.realized_lengths,
+            cfg.max_batch,
+            cfg.seed,
+        )
+        .unwrap();
+        assert_eq!(fixed.useful_tokens, expected);
+        assert!(
+            eos.report.tokens_per_sec > fixed.tokens_per_sec * 1.1,
+            "EOS serving {} tok/s vs fixed batch {} tok/s",
+            eos.report.tokens_per_sec,
+            fixed.tokens_per_sec
+        );
     }
 }

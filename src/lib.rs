@@ -44,8 +44,8 @@ pub mod prelude {
     pub use htpops::gemm::DequantVariant;
     pub use mathsynth::mathgen::{DatasetKind, TaskGenerator};
     pub use npuscale::backend::{
-        all_backends, figure13_backends, npu_backend, npu_backends_both, Backend, FitReport,
-        NpuSimBackend,
+        all_backends, figure13_backends, npu_backend, npu_backends_all, npu_backends_both, Backend,
+        FitReport, NpuSimBackend,
     };
     pub use npuscale::pipeline::{
         measure_decode, measure_decode_sharded, measure_decode_sharded_with, measure_decode_with,
@@ -53,6 +53,10 @@ pub mod prelude {
         measure_prefill_with,
     };
     pub use npuscale::power::PowerModel;
+    pub use npuscale::serve::{
+        poisson_trace, FleetGateway, FleetSpec, GatewayConfig, PrefillMode, Request, ServingReport,
+        SloConfig, TenantSpec,
+    };
     pub use npuscale::session::{LayerShard, MultiSession, ShardPlan};
     pub use ttscale::policy::CalibratedPolicy;
     pub use ttscale::verifier::{SimOrm, SimPrm};

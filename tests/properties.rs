@@ -206,4 +206,121 @@ proptest! {
             prop_assert_eq!(&f.tokens[1..], &steps_for_seq[..]);
         }
     }
+
+    /// Under random interleavings of plain admits, chunked prompt admits,
+    /// decode/prefill steps and early-EOS retires, the session conserves
+    /// sequences — `active + queued + prefilling + finished` equals the
+    /// number admitted after every operation — and KV slot accounting
+    /// never leaks: the DDR mapping stays flat while sequences churn and
+    /// drops back to the model-only footprint on release.
+    #[test]
+    fn decode_session_conserves_sequences_under_random_admit_retire(
+        ops in prop::collection::vec(0u8..4, 24),
+        seed in 0u64..1000
+    ) {
+        use npuscale_repro::prelude::*;
+        use std::collections::BTreeSet;
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 7).unwrap();
+        let ddr_model_only = ctx.ddr_mapped_bytes();
+        let prompt = Tokenizer::new().encode_with_bos("2*3=");
+        let (max_batch, max_new) = (3usize, 6usize);
+        let budget = max_batch * (prompt.len() + 4 + max_new + 2) + prompt.len();
+        let mut session =
+            DecodeSession::new(&mut ctx, &model, &prompt, max_batch, budget).unwrap();
+        let ddr_serving = ctx.ddr_mapped_bytes();
+        prop_assert!(ddr_serving > ddr_model_only, "KV must map DDR");
+
+        let mut admitted = 0usize;
+        let mut live: BTreeSet<SeqId> = BTreeSet::new();
+        let mut counter = seed as u32;
+        let is_eos = |t: u32| t.is_multiple_of(5);
+        let run_step = |session: &mut DecodeSession,
+                            ctx: &mut NpuContext,
+                            counter: &mut u32|
+         -> SimResult<Vec<(SeqId, u32)>> {
+            if session.prefilling_count() > 0 {
+                session.prefill_step(ctx, |_| 77)?;
+                Ok(Vec::new())
+            } else if session.active_count() > 0 {
+                session.step(ctx, |_, _| {
+                    *counter += 1;
+                    100 + (*counter % 120)
+                })
+            } else {
+                Ok(Vec::new())
+            }
+        };
+        for (n, &op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let id = session.admit(60 + n as u32, 1 + (n + seed as usize) % max_new)
+                        .unwrap();
+                    admitted += 1;
+                    live.insert(id);
+                }
+                1 => {
+                    if session.has_free_slot() {
+                        let plen = 1 + (n + seed as usize) % 4;
+                        let id = session
+                            .admit_prompt(&vec![1u32; plen], max_new, 2)
+                            .unwrap();
+                        admitted += 1;
+                        live.insert(id);
+                    }
+                }
+                2 => {
+                    let sampled = run_step(&mut session, &mut ctx, &mut counter).unwrap();
+                    // Early EOS: retire the sequence the moment its
+                    // sampled token terminates it (unless the budget
+                    // already auto-retired it in the same step).
+                    for (id, t) in sampled {
+                        if is_eos(t)
+                            && session.finished().iter().all(|f| f.id != id)
+                        {
+                            session.retire(id).unwrap();
+                        }
+                    }
+                }
+                _ => {
+                    // Retire a deterministic live victim — may be active,
+                    // queued, or mid-prefill.
+                    let victims: Vec<SeqId> = live.iter().copied().collect();
+                    if !victims.is_empty() {
+                        let pick = victims[(n + seed as usize) % victims.len()];
+                        session.retire(pick).unwrap();
+                    }
+                }
+            }
+            for f in session.finished() {
+                live.remove(&f.id);
+            }
+            // Conservation: nothing is ever lost or double-counted.
+            prop_assert_eq!(
+                session.active_count()
+                    + session.queued_count()
+                    + session.prefilling_count()
+                    + session.finished().len(),
+                admitted,
+                "op {} ({})", n, op
+            );
+            prop_assert!(session.active_count() <= max_batch);
+            // KV never leaks while sequences churn through the slots.
+            prop_assert_eq!(ctx.ddr_mapped_bytes(), ddr_serving, "op {}", n);
+        }
+        // Drain whatever is still in flight.
+        let mut guard = 0usize;
+        while session.active_count() + session.prefilling_count() > 0 {
+            run_step(&mut session, &mut ctx, &mut counter).unwrap();
+            guard += 1;
+            prop_assert!(guard < 1000, "failed to drain");
+        }
+        prop_assert_eq!(session.queued_count(), 0);
+        prop_assert_eq!(session.finished().len(), admitted);
+        let finished = session.into_finished(&mut ctx);
+        prop_assert_eq!(finished.len(), admitted);
+        // Releasing the session returns DDR to the model-only footprint.
+        prop_assert_eq!(ctx.ddr_mapped_bytes(), ddr_model_only);
+    }
 }
