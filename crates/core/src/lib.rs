@@ -29,6 +29,10 @@
 //!   trace-replay arrivals, bounded priority admission, chunked prefill
 //!   interleaved with continuous-batching decode, SLO metrics
 //!   (TTFT/TBT percentiles, goodput) over a heterogeneous device fleet.
+//! - [`thermal`] — the power-to-latency feedback loop: lumped RC die
+//!   model, burst/sustained DVFS governor with hysteresis, and the
+//!   sustained-vs-burst decode curves a phone actually delivers under
+//!   multi-minute load.
 
 pub mod backend;
 pub mod baselines;
@@ -39,8 +43,10 @@ pub mod pipeline;
 pub mod power;
 pub mod serve;
 pub mod session;
+pub mod thermal;
 
 pub use backend::{Backend, FitReport, NpuSimBackend};
 pub use pipeline::{DecodePoint, PrefillPoint};
 pub use power::PowerModel;
 pub use session::{DecodeSession, LayerShard, NpuSession, SessionConfig, ShardPlan};
+pub use thermal::{sustained_decode_curve, DvfsGovernor, SustainedCurve, ThermalState};

@@ -8,7 +8,7 @@
 //! grows) while staying under 5 W, and the 3B model stabilizes around the
 //! low-4 W range.
 
-use hexsim::cost::Engine;
+use hexsim::cost::{Engine, NUM_ENGINES};
 use hexsim::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -42,17 +42,26 @@ impl PowerModel {
 
     /// Average power during one decode step.
     pub fn step_power(&self, point: &DecodePoint) -> f64 {
-        let util = engine_utilization(point);
+        self.power_from_utilization(&engine_utilization(point))
+    }
+
+    /// Power at a given per-engine busy-fraction vector: the base draw
+    /// plus per-engine increments weighted by utilization. Each lane is
+    /// clamped to `[0, 1]` *before* summing — DMA and `l2fetch` share the
+    /// memory-system increment, and clamping their sum instead would
+    /// silently drop watts whenever both lanes are busy (the unit hazard
+    /// the thermal integrator must never ingest). This is the single
+    /// watts formula behind [`PowerModel::step_power`] and the thermal
+    /// capacitance integration.
+    pub fn power_from_utilization(&self, util: &[f64; NUM_ENGINES]) -> f64 {
         let d = &self.device;
-        let hvx = util[Engine::Hvx.idx_pub()];
-        let hmx = util[Engine::Hmx.idx_pub()];
-        let dma = util[Engine::Dma.idx_pub()] + util[Engine::L2fetch.idx_pub()];
-        let cpu = util[Engine::Cpu.idx_pub()];
+        let lane = |e: Engine| util[e.idx_pub()].clamp(0.0, 1.0);
+        let dma = lane(Engine::Dma) + lane(Engine::L2fetch);
         d.base_power_w
-            + d.hvx_power_w * hvx
-            + d.hmx_power_w * hmx
-            + d.dma_power_w * dma.min(1.0)
-            + d.cpu_core_power_w * 4.0 * cpu
+            + d.hvx_power_w * lane(Engine::Hvx)
+            + d.hmx_power_w * lane(Engine::Hmx)
+            + d.dma_power_w * dma
+            + d.cpu_core_power_w * 4.0 * lane(Engine::Cpu)
     }
 
     /// Full power/energy point for a decode measurement.
@@ -142,6 +151,64 @@ mod tests {
             "1.5B@8 {} J/tok vs 3B@1 {} J/tok",
             q15_b8.energy_per_token_j,
             q3_b1.energy_per_token_j
+        );
+    }
+
+    #[test]
+    fn power_is_monotone_in_every_lane_utilization() {
+        // Regression for the per-lane clamp: the old code clamped the *sum*
+        // of the DMA and l2fetch utilizations, so once one memory lane was
+        // saturated, raising the other added zero watts — power was not
+        // monotone in each lane. Per-lane clamping restores strict growth
+        // on (0, 1) and flatness only past saturation.
+        let pm = PowerModel::new(DeviceProfile::v75());
+        for lane in 0..NUM_ENGINES {
+            // Saturate every *other* lane so the summed-clamp bug (if it
+            // came back) would be exercised for the DMA/l2fetch pair.
+            let mut util = [1.0f64; NUM_ENGINES];
+            let mut prev = f64::NEG_INFINITY;
+            for step in 0..=10 {
+                util[lane] = step as f64 / 10.0;
+                let p = pm.power_from_utilization(&util);
+                assert!(
+                    p >= prev,
+                    "lane {lane}: power dropped from {prev} to {p} W at util {}",
+                    util[lane]
+                );
+                // Scalar lane carries no power increment; all others must
+                // grow strictly while unsaturated.
+                if lane != Engine::Scalar.idx_pub() {
+                    assert!(
+                        p > prev || step == 0,
+                        "lane {lane}: power flat at util {}",
+                        util[lane]
+                    );
+                }
+                prev = p;
+            }
+            // Over-saturated inputs clamp instead of inflating watts.
+            util[lane] = 2.0;
+            assert_eq!(pm.power_from_utilization(&util), prev, "lane {lane}");
+            util[lane] = -1.0;
+            let floor = pm.power_from_utilization(&util);
+            assert!(floor <= prev && floor.is_finite(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn both_memory_lanes_saturated_draw_double_the_dma_increment() {
+        // The unit hazard fixed in this file: with DMA and l2fetch both
+        // pinned at 1.0, the memory system draws *two* increments — the
+        // summed `min(1.0)` used to cap it at one.
+        let d = DeviceProfile::v75();
+        let pm = PowerModel::new(d.clone());
+        let mut util = [0.0f64; NUM_ENGINES];
+        util[Engine::Dma.idx_pub()] = 1.0;
+        util[Engine::L2fetch.idx_pub()] = 1.0;
+        let p = pm.power_from_utilization(&util);
+        assert!(
+            (p - d.base_power_w - 2.0 * d.dma_power_w).abs() < 1e-12,
+            "{p} W"
         );
     }
 

@@ -40,10 +40,11 @@ use htpops::gemm::DequantVariant;
 use crate::serve::arrivals::Request;
 use crate::serve::metrics::percentile;
 use crate::serve::scheduler::{
-    plan_worker, predicted_completion_secs, AdmissionQueue, FleetSpec, GatewayConfig, PrefillMode,
-    WorkerOracle,
+    plan_worker, predicted_completion_secs, predicted_completion_secs_thermal, AdmissionQueue,
+    FleetSpec, GatewayConfig, PrefillMode, ThermalPolicy, WorkerOracle,
 };
 use crate::session::{DecodeSession, SeqId, ShardPlan};
+use crate::thermal::{DvfsGovernor, ThermalState};
 
 /// Per-worker outcome of a serving run.
 #[derive(Clone, Debug)]
@@ -65,6 +66,11 @@ pub struct WorkerReport {
     pub npu_lane_utilization: f64,
     /// Tokens emitted by decode steps on this worker.
     pub decoded_tokens: usize,
+    /// Hottest die temperature reached (ambient when thermals are
+    /// disabled).
+    pub peak_temp_c: f64,
+    /// Steps executed at the sustained (throttled) clock point.
+    pub throttled_steps: usize,
 }
 
 /// Per-tenant outcome of a serving run.
@@ -149,12 +155,23 @@ struct WorkerState {
     steps: usize,
     served: usize,
     seqs: Vec<SeqTrack>,
+    /// Die temperature (lumped RC model; stays at ambient when the
+    /// thermal policy is [`ThermalPolicy::Disabled`]).
+    thermal: ThermalState,
+    /// Simulated time `thermal` is integrated up to.
+    temp_at: f64,
+    /// Per-worker DVFS governor.
+    governor: DvfsGovernor,
+    throttled_steps: usize,
+    peak_temp_c: f64,
 }
 
 /// Everything the event handlers mutate, minus the borrow-sensitive
 /// session/context pair (passed alongside).
 struct SimState<'t> {
     prefill: PrefillMode,
+    thermal: ThermalPolicy,
+    oracles: &'t [WorkerOracle],
     trace: &'t [Request],
     states: Vec<WorkerState>,
     records: Vec<ReqRecord>,
@@ -256,14 +273,24 @@ impl FleetGateway {
         });
         let mut sim = SimState {
             prefill: self.config.prefill,
+            thermal: self.config.thermal,
+            oracles: &self.oracles,
             trace,
-            states: (0..n)
-                .map(|_| WorkerState {
+            states: self
+                .fleet
+                .workers
+                .iter()
+                .map(|w| WorkerState {
                     clock: 0.0,
                     busy_secs: 0.0,
                     steps: 0,
                     served: 0,
                     seqs: Vec::new(),
+                    thermal: ThermalState::ambient(&w.device),
+                    temp_at: 0.0,
+                    governor: DvfsGovernor::new(),
+                    throttled_steps: 0,
+                    peak_temp_c: w.device.ambient_temp_c,
                 })
                 .collect(),
             records: vec![ReqRecord::default(); trace.len()],
@@ -311,7 +338,7 @@ impl FleetGateway {
                 }
                 break;
             };
-            sim.try_dispatch(now, &mut queue, &mut sessions, &self.oracles, &self.fleet)?;
+            sim.try_dispatch(now, &mut queue, &mut sessions, &self.fleet)?;
         }
 
         let report = self.build_report(&sim, &queue, &sessions, &plan_sessions);
@@ -379,6 +406,8 @@ impl FleetGateway {
                         .map(|s| steady_state_lane_utilization(s, lane::NPU))
                         .unwrap_or(0.0),
                     decoded_tokens: sessions[i].decoded_tokens(),
+                    peak_temp_c: st.peak_temp_c,
+                    throttled_steps: st.throttled_steps,
                 }
             })
             .collect();
@@ -423,6 +452,27 @@ impl SimState<'_> {
         ctx: &mut NpuContext,
     ) -> SimResult<f64> {
         let t0 = self.states[w].clock;
+        // Settle the DVFS governor on the pre-step die temperature and
+        // pick this step's clock multiplier.
+        let mult = if self.thermal == ThermalPolicy::Disabled {
+            1.0
+        } else {
+            let device = &self.oracles[w].device;
+            let st = &mut self.states[w];
+            st.governor.observe(device, st.thermal.temp_c);
+            st.governor.clock_mult(device)
+        };
+        // Throttled steps run the same recorded schedule with every stage
+        // dilated by 1/mult except fixed session switches — the exact
+        // repricing `StepStages::at_clock` defines. At burst clocks the
+        // schedule passes through untouched.
+        let throttle = |s: &StepStages| {
+            if mult < 1.0 {
+                s.at_clock(mult)
+            } else {
+                s.clone()
+            }
+        };
         let has_active = sess.active_count() > 0;
         let has_prefill = sess.prefilling_count() > 0;
         let mut emitted: Vec<(SeqId, u32)> = Vec::new();
@@ -436,7 +486,7 @@ impl SimState<'_> {
                 if chunk.completed {
                     chunk_done = Some(chunk.id);
                 }
-                single_pass_secs(&chunk.stages)
+                single_pass_secs(&throttle(&chunk.stages))
             }
             _ => {
                 let decode_stages: Option<StepStages> = if has_active {
@@ -457,9 +507,9 @@ impl SimState<'_> {
                 }
                 match (&decode_stages, &chunk) {
                     // Chunk rides the decode walk: one fused schedule.
-                    (Some(d), Some(c)) => steady_state_step_secs(&d.merged(&c.stages)),
-                    (Some(d), None) => steady_state_step_secs(d),
-                    (None, Some(c)) => single_pass_secs(&c.stages),
+                    (Some(d), Some(c)) => steady_state_step_secs(&throttle(&d.merged(&c.stages))),
+                    (Some(d), None) => steady_state_step_secs(&throttle(d)),
+                    (None, Some(c)) => single_pass_secs(&throttle(&c.stages)),
                     (None, None) => unreachable!("stepped an idle worker"),
                 }
             }
@@ -469,6 +519,21 @@ impl SimState<'_> {
         state.clock = t_end;
         state.busy_secs += dur;
         state.steps += 1;
+        if self.thermal != ThermalPolicy::Disabled {
+            // The step's joules flow into the die at the operating point
+            // the governor chose for it.
+            let oracle = &self.oracles[w];
+            let throttled = state.governor.is_throttled();
+            let power_w = if throttled {
+                oracle.sustained_power_w
+            } else {
+                oracle.burst_power_w
+            };
+            state.thermal.step(&oracle.device, power_w, dur);
+            state.temp_at = t_end;
+            state.peak_temp_c = state.peak_temp_c.max(state.thermal.temp_c);
+            state.throttled_steps += usize::from(throttled);
+        }
 
         // First token of a request whose prompt just completed.
         if let Some(sid) = chunk_done {
@@ -531,6 +596,41 @@ impl SimState<'_> {
         Ok(t_end)
     }
 
+    /// Die temperature worker `w` would have at time `t`: the last
+    /// integrated temperature, cooled in closed form (zero-power RC
+    /// decay) over any idle gap since.
+    fn projected_temp(&self, w: usize, t: f64) -> f64 {
+        let st = &self.states[w];
+        let d = &self.oracles[w].device;
+        let gap = t - st.temp_at;
+        if gap <= 0.0 {
+            return st.thermal.temp_c;
+        }
+        d.ambient_temp_c
+            + (st.thermal.temp_c - d.ambient_temp_c) * (-gap / d.thermal_time_constant_secs()).exp()
+    }
+
+    /// The dispatcher's completion prediction for placing `r` on worker
+    /// `w` at time `now`, under the configured thermal policy.
+    fn predict(&self, w: usize, now: f64, r: &Request) -> f64 {
+        let free = self.states[w].clock.max(now);
+        match self.thermal {
+            ThermalPolicy::Aware => {
+                let temp = self.projected_temp(w, free);
+                let mut governor = self.states[w].governor.clone();
+                governor.observe(&self.oracles[w].device, temp);
+                predicted_completion_secs_thermal(
+                    &self.oracles[w],
+                    free,
+                    temp,
+                    governor.is_throttled(),
+                    r,
+                )
+            }
+            _ => predicted_completion_secs(&self.oracles[w], free, r),
+        }
+    }
+
     /// Admits queued requests while fleet capacity exists, placing each
     /// on the worker minimizing its predicted completion. Requests no
     /// worker could ever hold (prompt + budget exceed every context
@@ -540,7 +640,6 @@ impl SimState<'_> {
         now: f64,
         queue: &mut AdmissionQueue,
         sessions: &mut [DecodeSession<'_>],
-        oracles: &[WorkerOracle],
         fleet: &FleetSpec,
     ) -> SimResult<()> {
         while let Some(ri) = queue.peek() {
@@ -559,8 +658,8 @@ impl SimState<'_> {
                 .filter(|&w| sessions[w].has_free_slot())
                 .collect();
             let Some(&best) = open.iter().min_by(|&&a, &&b| {
-                let pa = predicted_completion_secs(&oracles[a], self.states[a].clock.max(now), r);
-                let pb = predicted_completion_secs(&oracles[b], self.states[b].clock.max(now), r);
+                let pa = self.predict(a, now, r);
+                let pb = self.predict(b, now, r);
                 pa.total_cmp(&pb).then(a.cmp(&b))
             }) else {
                 // Capacity exists somewhere but no slot is free yet:
@@ -576,7 +675,16 @@ impl SimState<'_> {
             // Cost-only prompts: token values never matter, length does.
             let sid = sessions[best].admit_prompt(&vec![0u32; r.prompt_len], r.max_new, chunk)?;
             if was_idle {
-                self.states[best].clock = self.states[best].clock.max(now);
+                let jump = self.states[best].clock.max(now);
+                if self.thermal != ThermalPolicy::Disabled {
+                    // The worker sat idle until now: its die relaxed
+                    // toward ambient over the gap.
+                    let cooled = self.projected_temp(best, jump);
+                    let st = &mut self.states[best];
+                    st.thermal.temp_c = cooled;
+                    st.temp_at = jump;
+                }
+                self.states[best].clock = jump;
             }
             self.states[best].seqs.push(SeqTrack {
                 seq: sid,
@@ -717,6 +825,58 @@ mod tests {
         let r = gw.serve_trace(&trace).unwrap();
         assert_eq!(r.rejected, 1);
         assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn thermal_physics_is_inert_below_the_throttle_cap() {
+        use crate::serve::scheduler::ThermalPolicy;
+        // A short trace never fills the thermal capacitance: with physics
+        // on (Blind) the dies warm but never throttle, so every latency
+        // number matches the Disabled gateway bit-for-bit — the
+        // "thermals change nothing until they must" guarantee.
+        let trace = poisson_trace(&tenants(), 4.0, 10, 11);
+        let fleet = FleetSpec::single(ModelId::Qwen1_5B, DeviceProfile::v75(), false);
+        let disabled = FleetGateway::new(fleet.clone(), GatewayConfig::default()).unwrap();
+        let blind = FleetGateway::new(
+            fleet,
+            GatewayConfig {
+                thermal: ThermalPolicy::Blind,
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let rd = disabled.serve_trace(&trace).unwrap();
+        let rb = blind.serve_trace(&trace).unwrap();
+        assert_eq!(rd.makespan_secs, rb.makespan_secs);
+        assert_eq!(rd.ttft_p99_secs, rb.ttft_p99_secs);
+        assert_eq!(rd.tbt_p99_secs, rb.tbt_p99_secs);
+        assert_eq!(rd.completed, rb.completed);
+        assert_eq!(rb.workers[0].throttled_steps, 0);
+        // Physics ran in one and not the other.
+        let ambient = DeviceProfile::v75().ambient_temp_c;
+        assert_eq!(rd.workers[0].peak_temp_c, ambient);
+        assert!(rb.workers[0].peak_temp_c > ambient);
+        assert!(rb.workers[0].peak_temp_c < DeviceProfile::v75().throttle_temp_c);
+    }
+
+    #[test]
+    fn aware_dispatch_is_deterministic_and_projects_cooling() {
+        use crate::serve::scheduler::ThermalPolicy;
+        let trace = poisson_trace(&tenants(), 6.0, 16, 13);
+        let config = GatewayConfig {
+            thermal: ThermalPolicy::Aware,
+            ..GatewayConfig::default()
+        };
+        let gw = FleetGateway::new(FleetSpec::heterogeneous(ModelId::Qwen1_5B), config).unwrap();
+        let a = gw.serve_trace(&trace).unwrap();
+        let b = gw.serve_trace(&trace).unwrap();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.tbt_p99_secs, b.tbt_p99_secs);
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.peak_temp_c, wb.peak_temp_c);
+            assert_eq!(wa.throttled_steps, wb.throttled_steps);
+        }
     }
 
     #[test]

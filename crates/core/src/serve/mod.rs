@@ -59,6 +59,6 @@ pub use arrivals::{poisson_trace, replay_trace, Request, TenantSpec};
 pub use gateway::{FleetGateway, ServingReport, TenantReport, WorkerReport};
 pub use metrics::{percentile, SloConfig};
 pub use scheduler::{
-    predicted_completion_secs, AdmissionQueue, FleetSpec, GatewayConfig, PrefillMode, WorkerOracle,
-    WorkerSpec,
+    predicted_completion_secs, predicted_completion_secs_thermal, AdmissionQueue, FleetSpec,
+    GatewayConfig, PrefillMode, ThermalPolicy, WorkerOracle, WorkerSpec,
 };

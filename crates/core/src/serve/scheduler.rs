@@ -23,6 +23,7 @@ use edgellm::config::ModelId;
 use hexsim::prelude::*;
 
 use crate::backend::{Backend, NpuSimBackend};
+use crate::power::PowerModel;
 use crate::serve::arrivals::Request;
 use crate::serve::metrics::SloConfig;
 
@@ -112,6 +113,24 @@ impl FleetSpec {
     }
 }
 
+/// How the gateway treats worker die temperature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThermalPolicy {
+    /// No thermal physics at all: dies never heat, clocks never drop.
+    /// Every pre-thermal serving number reproduces bit-for-bit.
+    #[default]
+    Disabled,
+    /// Physics on — dies heat per step, the per-worker DVFS governor
+    /// throttles at the cap — but the dispatcher still predicts with
+    /// burst-clock oracles (it cannot see temperature). The baseline the
+    /// CI gate compares against.
+    Blind,
+    /// Physics on *and* the dispatcher projects each worker's
+    /// temperature trajectory when predicting completion, steering
+    /// sustained load toward workers with thermal headroom.
+    Aware,
+}
+
 /// Gateway policy knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct GatewayConfig {
@@ -122,6 +141,8 @@ pub struct GatewayConfig {
     pub prefill: PrefillMode,
     /// Latency targets goodput is measured against.
     pub slo: SloConfig,
+    /// Thermal/DVFS treatment of the worker dies.
+    pub thermal: ThermalPolicy,
 }
 
 impl Default for GatewayConfig {
@@ -130,6 +151,7 @@ impl Default for GatewayConfig {
             queue_capacity: 8,
             prefill: PrefillMode::Chunked { chunk_tokens: 32 },
             slo: SloConfig::default(),
+            thermal: ThermalPolicy::default(),
         }
     }
 }
@@ -146,6 +168,15 @@ pub struct WorkerOracle {
     pub decode_step_secs: f64,
     /// Measured prefill throughput in tokens/second.
     pub prefill_tps: f64,
+    /// The worker's device, carried for thermal projection (RC constants,
+    /// DVFS operating points).
+    pub device: DeviceProfile,
+    /// Measured full-batch decode step at the sustained clock point.
+    pub sustained_step_secs: f64,
+    /// Average device watts of the burst-clock decode step.
+    pub burst_power_w: f64,
+    /// Average device watts of the sustained-clock decode step.
+    pub sustained_power_w: f64,
 }
 
 /// Probes one worker through the overlap-aware NPU backend: `fits` gates
@@ -164,12 +195,28 @@ pub fn plan_worker(model: ModelId, spec: &WorkerSpec) -> SimResult<WorkerOracle>
     let fit = backend.fits(model, spec.max_batch, spec.max_ctx)?;
     let decode = backend.decode(model, spec.max_batch, spec.max_ctx)?;
     let prefill = backend.prefill(model, 256.min(spec.max_ctx / 2))?;
+    // The same deployment repriced at the sustained DVFS point: every
+    // engine rate scales by the clock multiplier, dynamic power by its
+    // cube, fixed session-switch costs stay fixed.
+    let hot_device = spec.device.at_clock(spec.device.sustained_clock_mult);
+    let hot_backend = if spec.streaming {
+        NpuSimBackend::streamed(hot_device.clone())
+    } else {
+        NpuSimBackend::overlapped(hot_device.clone())
+    };
+    let sustained = hot_backend.decode(model, spec.max_batch, spec.max_ctx)?;
+    let burst_power_w = PowerModel::new(spec.device.clone()).step_power(&decode);
+    let sustained_power_w = PowerModel::new(hot_device).step_power(&sustained);
     let variant = if spec.streaming { " streamed" } else { "" };
     Ok(WorkerOracle {
         name: format!("{}{variant}", spec.device.arch.soc_label()),
         sessions: fit.sessions,
         decode_step_secs: decode.step_secs,
         prefill_tps: prefill.tokens_per_sec,
+        device: spec.device.clone(),
+        sustained_step_secs: sustained.step_secs,
+        burst_power_w,
+        sustained_power_w,
     })
 }
 
@@ -181,6 +228,49 @@ pub fn predicted_completion_secs(oracle: &WorkerOracle, free_at_secs: f64, req: 
     free_at_secs
         + req.prompt_len as f64 / oracle.prefill_tps
         + req.max_new as f64 * oracle.decode_step_secs
+}
+
+/// Thermal-aware completion prediction: like
+/// [`predicted_completion_secs`], but the worker's projected temperature
+/// trajectory prices the work. A throttled worker runs everything at the
+/// sustained rate; a burst worker runs until its die is projected to hit
+/// the throttle cap — the analytic RC heating time
+/// `t = tau * ln((T_eq - T) / (T_eq - T_cap))` — and the remainder at the
+/// sustained rate. This is what lets the dispatcher route sustained load
+/// toward workers with thermal headroom *before* they throttle.
+pub fn predicted_completion_secs_thermal(
+    oracle: &WorkerOracle,
+    free_at_secs: f64,
+    temp_c: f64,
+    throttled: bool,
+    req: &Request,
+) -> f64 {
+    let d = &oracle.device;
+    // Seconds of work if the whole request ran at burst clocks.
+    let burst_work =
+        req.prompt_len as f64 / oracle.prefill_tps + req.max_new as f64 * oracle.decode_step_secs;
+    // Burst-to-sustained dilation, measured (not assumed): fixed switch
+    // costs make this slightly less than 1 / sustained_clock_mult.
+    let dilation = oracle.sustained_step_secs / oracle.decode_step_secs;
+    if throttled {
+        return free_at_secs + burst_work * dilation;
+    }
+    let t_eq = d.equilibrium_temp_c(oracle.burst_power_w);
+    if t_eq <= d.throttle_temp_c {
+        // Burst never reaches the cap on this device: all-burst forever.
+        return free_at_secs + burst_work;
+    }
+    let burst_secs_left = if temp_c >= d.throttle_temp_c {
+        0.0
+    } else {
+        // T(t) = T_eq + (T - T_eq) e^{-t/tau}; solve T(t) = cap.
+        d.thermal_time_constant_secs() * ((t_eq - temp_c) / (t_eq - d.throttle_temp_c)).ln()
+    };
+    if burst_work <= burst_secs_left {
+        free_at_secs + burst_work
+    } else {
+        free_at_secs + burst_secs_left + (burst_work - burst_secs_left) * dilation
+    }
 }
 
 /// A request waiting for fleet capacity.
@@ -345,6 +435,59 @@ mod tests {
             predicted_completion_secs(&fast, 60.0, req)
                 > predicted_completion_secs(&slow, 0.0, req)
         );
+    }
+
+    #[test]
+    fn thermal_prediction_agrees_with_blind_on_a_cold_die() {
+        use crate::serve::arrivals::TenantSpec;
+        let model = ModelId::Qwen1_5B;
+        let oracle = plan_worker(model, &WorkerSpec::resident(DeviceProfile::v79())).unwrap();
+        let d = &oracle.device;
+        let req =
+            &crate::serve::arrivals::replay_trace(&TenantSpec::interactive("t"), &[(0.0, 64, 16)])
+                [0];
+        // A short request on a cold die finishes before the cap: the
+        // thermal projection must not inflate it.
+        let blind = predicted_completion_secs(&oracle, 0.0, req);
+        let cold = predicted_completion_secs_thermal(&oracle, 0.0, d.ambient_temp_c, false, req);
+        assert_eq!(cold, blind);
+
+        // At the cap, everything runs at the sustained rate.
+        let hot = predicted_completion_secs_thermal(&oracle, 0.0, d.throttle_temp_c, false, req);
+        let dilation = oracle.sustained_step_secs / oracle.decode_step_secs;
+        assert!((hot - blind * dilation).abs() < 1e-12, "hot {hot}");
+        assert!(hot > blind);
+
+        // A governor already throttled prices identically to a die at cap.
+        let throttled =
+            predicted_completion_secs_thermal(&oracle, 0.0, d.throttle_temp_c - 1.0, true, req);
+        assert_eq!(throttled, hot);
+
+        // Between ambient and cap the prediction interpolates.
+        let warm =
+            predicted_completion_secs_thermal(&oracle, 0.0, d.throttle_temp_c - 0.05, false, req);
+        assert!(
+            warm > blind && warm <= hot,
+            "warm {warm} in ({blind}, {hot}]"
+        );
+    }
+
+    #[test]
+    fn thermal_oracle_carries_both_operating_points() {
+        let oracle = plan_worker(
+            ModelId::Qwen1_5B,
+            &WorkerSpec::resident(DeviceProfile::v75()),
+        )
+        .unwrap();
+        let d = &oracle.device;
+        assert!(oracle.sustained_step_secs > oracle.decode_step_secs);
+        // Dilation bounded by the clock ratio (fixed switches only help).
+        assert!(
+            oracle.sustained_step_secs <= oracle.decode_step_secs / d.sustained_clock_mult * 1.001
+        );
+        // Cube-law dynamic power: the sustained point draws fewer watts.
+        assert!(oracle.sustained_power_w < oracle.burst_power_w);
+        assert!(oracle.sustained_power_w > d.base_power_w);
     }
 
     #[test]

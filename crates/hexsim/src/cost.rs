@@ -178,7 +178,14 @@ pub struct CostSnapshot {
 /// *counts*, which the kernels produce faithfully.
 #[derive(Clone, Debug)]
 pub struct CostModel {
+    /// Active profile all charges price against — the base device
+    /// re-derived at the current DVFS clock multiplier.
     device: DeviceProfile,
+    /// The burst-clock profile as constructed, kept so the multiplier can
+    /// change mid-flight without compounding scale factors.
+    base_device: DeviceProfile,
+    /// Current DVFS clock multiplier (1.0 = burst).
+    clock_mult: f64,
     engine_secs: [f64; NUM_ENGINES],
     counters: Counters,
     phases: Vec<PhaseCost>,
@@ -192,7 +199,9 @@ impl CostModel {
     /// Creates an empty cost model for a device.
     pub fn new(device: DeviceProfile) -> Self {
         CostModel {
-            device,
+            device: device.clone(),
+            base_device: device,
+            clock_mult: 1.0,
             engine_secs: [0.0; NUM_ENGINES],
             counters: Counters::default(),
             phases: Vec::new(),
@@ -201,9 +210,32 @@ impl CostModel {
         }
     }
 
-    /// The device this model charges against.
+    /// The device this model charges against (at the current clock — see
+    /// [`CostModel::set_clock_mult`]).
     pub fn device(&self) -> &DeviceProfile {
         &self.device
+    }
+
+    /// Moves the model to a DVFS operating point: subsequent charges are
+    /// priced against [`DeviceProfile::at_clock`]`(mult)` of the *base*
+    /// device, so repeated calls never compound. Already-accumulated time
+    /// is untouched — the multiplier applies from this call onward, which
+    /// is exactly how a mid-decode throttle event lands. Returns the
+    /// previous multiplier so callers can restore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < mult <= 1` (see [`DeviceProfile::at_clock`]).
+    pub fn set_clock_mult(&mut self, mult: f64) -> f64 {
+        let prev = self.clock_mult;
+        self.device = self.base_device.at_clock(mult);
+        self.clock_mult = mult;
+        prev
+    }
+
+    /// The current DVFS clock multiplier (1.0 = burst).
+    pub fn clock_mult(&self) -> f64 {
+        self.clock_mult
     }
 
     /// Raw activity counters.
@@ -232,13 +264,16 @@ impl CostModel {
         self.phases.clear();
     }
 
-    /// Clears all accumulated time, counters and phases.
+    /// Clears all accumulated time, counters and phases, and returns the
+    /// clock to burst (multiplier 1.0).
     pub fn reset(&mut self) {
         self.engine_secs = [0.0; NUM_ENGINES];
         self.counters = Counters::default();
         self.phases.clear();
         self.phase_start = None;
         self.hvx_parallelism = 1.0;
+        self.device = self.base_device.clone();
+        self.clock_mult = 1.0;
     }
 
     /// Declares that subsequent HVX charges are spread over `threads` vector
@@ -541,6 +576,121 @@ mod tests {
         // Tiny flops, huge bytes: memory-bound.
         m.charge_cpu(1, 32_000_000_000);
         assert!((m.engine_secs(Engine::Cpu) - 1.0).abs() < 1e-9);
+    }
+
+    /// From-scratch scalar reference for one charge sequence at a DVFS
+    /// multiplier: prices every lane directly off the scaled constants,
+    /// sharing no code with `CostModel` beyond the device struct.
+    fn throttled_reference(base: &DeviceProfile, mult: f64) -> [f64; NUM_ENGINES] {
+        let mut secs = [0.0f64; NUM_ENGINES];
+        // HVX: 4600 packets single-threaded + one pipelined vgather.
+        secs[Engine::Hvx.idx()] +=
+            (4600.0 + base.vgather_packets_min as f64) / (base.vector_clock_hz * mult);
+        // HVX core-path load of 13 MB and 26 MB of TCM streaming.
+        secs[Engine::Hvx.idx()] += 13.0e6 / (base.hvx_load_bw * mult);
+        secs[Engine::Hvx.idx()] += 26.0e6 / (base.tcm_bw * mult);
+        // HMX: 1000 tile-ops at the scaled tile rate.
+        secs[Engine::Hmx.idx()] += 1000.0 / ((base.hmx_flops * mult) / (2.0 * 32.0 * 32.0 * 32.0));
+        // DMA: a 6 MB idle-rate transfer plus a 9 MB sustained weight
+        // stream (the streaming lane must scale too).
+        secs[Engine::Dma.idx()] += 6.0e6 / (base.dma_bw * mult);
+        secs[Engine::Dma.idx()] += 9.0e6 / (base.ddr_stream_bw * mult);
+        // l2fetch: 5 MB prefetch.
+        secs[Engine::L2fetch.idx()] += 5.0e6 / (base.l2fetch_bw * mult);
+        // CPU roofline: a compute-bound and a memory-bound charge, plus a
+        // fixed 30 us session switch that must NOT scale.
+        secs[Engine::Cpu.idx()] += 2.0e9 / (base.cpu_flops * mult);
+        secs[Engine::Cpu.idx()] += 64.0e6 / (base.cpu_mem_bw * mult);
+        secs[Engine::Cpu.idx()] += 30e-6;
+        secs
+    }
+
+    /// Replays the same charge sequence through the cost model.
+    fn throttled_charges(m: &mut CostModel) {
+        m.charge_hvx_packets(4600);
+        m.charge_vgather(true);
+        m.charge_hvx_ddr_bytes(13_000_000);
+        m.charge_tcm_bytes(26_000_000);
+        m.charge_hmx_tile_ops(1000);
+        m.charge_dma(6_000_000);
+        let _ = m.charge_ddr_stream(9_000_000);
+        m.charge_l2fetch(5_000_000);
+        m.charge_cpu(2_000_000_000, 0);
+        m.charge_cpu(0, 64_000_000);
+        m.charge_secs(Engine::Cpu, 30e-6);
+    }
+
+    #[test]
+    fn throttled_charges_match_the_scalar_reference_on_every_lane() {
+        for base in DeviceProfile::all() {
+            for mult in [1.0, 0.82, 0.65, 0.6] {
+                let mut m = CostModel::new(base.clone());
+                m.set_clock_mult(mult);
+                throttled_charges(&mut m);
+                let want = throttled_reference(&base, mult);
+                for e in Engine::ALL {
+                    let got = m.engine_secs(e);
+                    let w = want[e.idx()];
+                    assert!(
+                        (got - w).abs() <= w.abs() * 1e-12,
+                        "{} {} mult {mult}: {got} vs reference {w}",
+                        base.name,
+                        e.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throttled_lanes_scale_by_exactly_one_over_mult() {
+        // Every rate scales by the same factor, so busy seconds for the
+        // same workload scale by 1/mult on every lane — except the fixed
+        // session-switch seconds, which are subtracted out here.
+        let base = DeviceProfile::v75();
+        let mult = 0.6;
+        let mut burst = CostModel::new(base.clone());
+        throttled_charges(&mut burst);
+        let mut slow = CostModel::new(base);
+        slow.set_clock_mult(mult);
+        throttled_charges(&mut slow);
+        for e in Engine::ALL {
+            let fixed = if e == Engine::Cpu { 30e-6 } else { 0.0 };
+            let b = burst.engine_secs(e) - fixed;
+            let s = slow.engine_secs(e) - fixed;
+            assert!(
+                (s - b / mult).abs() <= (b / mult).abs() * 1e-9 + 1e-18,
+                "{}: {s} vs {b}/{mult}",
+                e.label()
+            );
+        }
+        // Counters are clock-independent (same instructions, same bytes).
+        assert_eq!(burst.counters(), slow.counters());
+    }
+
+    #[test]
+    fn set_clock_mult_does_not_compound_and_reset_restores_burst() {
+        let mut m = model();
+        let prev = m.set_clock_mult(0.5);
+        assert_eq!(prev, 1.0);
+        // Re-setting from the *base* device: 0.5 twice is still 0.5.
+        m.set_clock_mult(0.5);
+        m.charge_dma(30_000_000_000); // 1 s at burst, 2 s at half clock.
+        assert!((m.engine_secs(Engine::Dma) - 1.0).abs() < 1e-9);
+        assert_eq!(m.clock_mult(), 0.5);
+        m.reset();
+        assert_eq!(m.clock_mult(), 1.0);
+        m.charge_dma(60_000_000_000);
+        assert!((m.engine_secs(Engine::Dma) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_flight_throttle_prices_only_subsequent_charges() {
+        let mut m = model();
+        m.charge_dma(60_000_000_000); // 1 s at burst.
+        m.set_clock_mult(0.5);
+        m.charge_dma(60_000_000_000); // 2 s throttled.
+        assert!((m.engine_secs(Engine::Dma) - 3.0).abs() < 1e-9);
     }
 
     #[test]

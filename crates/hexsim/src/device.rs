@@ -127,6 +127,29 @@ pub struct DeviceProfile {
     pub cpu_flops: f64,
     /// CPU memory bandwidth in bytes/s (shared LPDDR).
     pub cpu_mem_bw: f64,
+
+    /// DVFS sustained operating point: the clock multiplier the governor
+    /// drops to when the die crosses [`DeviceProfile::throttle_temp_c`]
+    /// (burst is multiplier 1.0). Rates scale linearly with the
+    /// multiplier, dynamic power cubically (P ∝ f·V², V ∝ f) — see
+    /// [`DeviceProfile::at_clock`].
+    pub sustained_clock_mult: f64,
+    /// Die thermal mass in J/°C: joules needed to warm the package one
+    /// degree. With the resistance below it sets the thermal time
+    /// constant τ = R·C (tens of seconds on a passively cooled phone).
+    pub thermal_capacitance_j_per_c: f64,
+    /// Thermal resistance die → ambient in °C/W: the steady-state die
+    /// temperature under power `P` is `ambient + R·P`.
+    pub thermal_resistance_c_per_w: f64,
+    /// Ambient (skin/sink) temperature in °C the die relaxes toward.
+    pub ambient_temp_c: f64,
+    /// Throttle cap in °C: crossing it drops the clock to the sustained
+    /// operating point.
+    pub throttle_temp_c: f64,
+    /// Governor hysteresis in °C: burst clocks resume only once the die
+    /// cools below `throttle_temp_c - throttle_hysteresis_c`, preventing
+    /// burst/sustained oscillation around the cap.
+    pub throttle_hysteresis_c: f64,
 }
 
 impl DeviceProfile {
@@ -163,6 +186,12 @@ impl DeviceProfile {
             cpu_core_power_w: 0.75,
             cpu_flops: 80.0e9,
             cpu_mem_bw: 28.0e9,
+            sustained_clock_mult: 0.62,
+            thermal_capacitance_j_per_c: 4.5,
+            thermal_resistance_c_per_w: 5.2,
+            ambient_temp_c: 25.0,
+            throttle_temp_c: 44.0,
+            throttle_hysteresis_c: 8.0,
         }
     }
 
@@ -202,6 +231,12 @@ impl DeviceProfile {
             cpu_core_power_w: 0.8,
             cpu_flops: 95.0e9,
             cpu_mem_bw: 32.0e9,
+            sustained_clock_mult: 0.60,
+            thermal_capacitance_j_per_c: 5.0,
+            thermal_resistance_c_per_w: 5.5,
+            ambient_temp_c: 25.0,
+            throttle_temp_c: 46.0,
+            throttle_hysteresis_c: 8.0,
         }
     }
 
@@ -236,6 +271,12 @@ impl DeviceProfile {
             cpu_core_power_w: 0.85,
             cpu_flops: 120.0e9,
             cpu_mem_bw: 38.0e9,
+            sustained_clock_mult: 0.65,
+            thermal_capacitance_j_per_c: 5.5,
+            thermal_resistance_c_per_w: 4.8,
+            ambient_temp_c: 25.0,
+            throttle_temp_c: 45.0,
+            throttle_hysteresis_c: 8.0,
         }
     }
 
@@ -267,6 +308,59 @@ impl DeviceProfile {
         } else {
             1
         }
+    }
+
+    /// The profile re-derived at a DVFS clock multiplier: every rate
+    /// constant (clocks, FLOP/s, bandwidths — the whole SoC rides one
+    /// DVFS domain in this model) scales linearly with `mult`, while the
+    /// per-engine *dynamic* power increments scale cubically (P ∝ f·V²
+    /// with V ∝ f) and the base draw stays put. Capacities, latencies in
+    /// *packets*, VA limits and the thermal constants are untouched.
+    ///
+    /// `at_clock(1.0)` is the identity; the throttled profile is
+    /// `at_clock(sustained_clock_mult)`. Because every rate scales by the
+    /// same factor, every engine's busy seconds for a fixed workload
+    /// scale by exactly `1/mult` — the differential property the DVFS
+    /// test suite pins. Fixed host-side overheads charged in raw seconds
+    /// (FastRPC session switches) do not scale, by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < mult <= 1`.
+    pub fn at_clock(&self, mult: f64) -> Self {
+        assert!(
+            mult > 0.0 && mult <= 1.0,
+            "clock multiplier {mult} outside (0, 1]"
+        );
+        let p = mult * mult * mult;
+        DeviceProfile {
+            vector_clock_hz: self.vector_clock_hz * mult,
+            hmx_flops: self.hmx_flops * mult,
+            hvx_thread_gemm_flops: self.hvx_thread_gemm_flops * mult,
+            dma_bw: self.dma_bw * mult,
+            ddr_stream_bw: self.ddr_stream_bw * mult,
+            l2fetch_bw: self.l2fetch_bw * mult,
+            hvx_load_bw: self.hvx_load_bw * mult,
+            tcm_bw: self.tcm_bw * mult,
+            cpu_flops: self.cpu_flops * mult,
+            cpu_mem_bw: self.cpu_mem_bw * mult,
+            hvx_power_w: self.hvx_power_w * p,
+            hmx_power_w: self.hmx_power_w * p,
+            dma_power_w: self.dma_power_w * p,
+            cpu_core_power_w: self.cpu_core_power_w * p,
+            ..self.clone()
+        }
+    }
+
+    /// Thermal time constant τ = R·C in seconds: the e-folding time of
+    /// the die's exponential approach to its steady-state temperature.
+    pub fn thermal_time_constant_secs(&self) -> f64 {
+        self.thermal_resistance_c_per_w * self.thermal_capacitance_j_per_c
+    }
+
+    /// Steady-state die temperature in °C under a constant `power_w`.
+    pub fn equilibrium_temp_c(&self, power_w: f64) -> f64 {
+        self.ambient_temp_c + self.thermal_resistance_c_per_w * power_w
     }
 }
 
@@ -316,6 +410,85 @@ mod tests {
         assert_eq!(NpuArch::V73.soc_label(), "8G2");
         assert_eq!(NpuArch::V75.soc_label(), "8G3");
         assert_eq!(NpuArch::V79.soc_label(), "8G4");
+    }
+
+    #[test]
+    fn at_clock_scales_rates_linearly_and_power_cubically() {
+        let base = DeviceProfile::v75();
+        let m = 0.6;
+        let d = base.at_clock(m);
+        for (got, want) in [
+            (d.vector_clock_hz, base.vector_clock_hz * m),
+            (d.hmx_flops, base.hmx_flops * m),
+            (d.hvx_thread_gemm_flops, base.hvx_thread_gemm_flops * m),
+            (d.dma_bw, base.dma_bw * m),
+            (d.ddr_stream_bw, base.ddr_stream_bw * m),
+            (d.l2fetch_bw, base.l2fetch_bw * m),
+            (d.hvx_load_bw, base.hvx_load_bw * m),
+            (d.tcm_bw, base.tcm_bw * m),
+            (d.cpu_flops, base.cpu_flops * m),
+            (d.cpu_mem_bw, base.cpu_mem_bw * m),
+        ] {
+            assert_eq!(got, want);
+        }
+        let p = m * m * m;
+        assert_eq!(d.hvx_power_w, base.hvx_power_w * p);
+        assert_eq!(d.hmx_power_w, base.hmx_power_w * p);
+        assert_eq!(d.dma_power_w, base.dma_power_w * p);
+        assert_eq!(d.cpu_core_power_w, base.cpu_core_power_w * p);
+        // Base draw, capacities, limits and thermal constants untouched.
+        assert_eq!(d.base_power_w, base.base_power_w);
+        assert_eq!(d.tcm_bytes, base.tcm_bytes);
+        assert_eq!(d.session_va_bytes, base.session_va_bytes);
+        assert_eq!(d.max_sessions, base.max_sessions);
+        assert_eq!(d.throttle_temp_c, base.throttle_temp_c);
+        assert_eq!(d.sustained_clock_mult, base.sustained_clock_mult);
+    }
+
+    #[test]
+    fn at_clock_unity_is_identity() {
+        let base = DeviceProfile::v79();
+        let d = base.at_clock(1.0);
+        assert_eq!(d.vector_clock_hz, base.vector_clock_hz);
+        assert_eq!(d.hvx_power_w, base.hvx_power_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn at_clock_rejects_overclock() {
+        let _ = DeviceProfile::v75().at_clock(1.1);
+    }
+
+    #[test]
+    fn thermal_constants_give_plausible_throttle_story() {
+        for d in DeviceProfile::all() {
+            // The cap sits between ambient and a heavy-decode equilibrium
+            // (~4 W), so burst clocks eventually throttle under sustained
+            // load but a cool die always starts at burst.
+            assert!(d.ambient_temp_c < d.throttle_temp_c);
+            assert!(d.equilibrium_temp_c(4.2) > d.throttle_temp_c, "{}", d.name);
+            // Sustained clocks must be thermally sustainable even in the
+            // absolute worst case: every engine saturated, both memory
+            // lanes (DMA + L2fetch) drawing at once, all four CPU cores
+            // busy. If this equilibrium stayed above the cap, a throttled
+            // die could never stop heating and the cap would be a lie.
+            let s = d.at_clock(d.sustained_clock_mult);
+            let sustained_max_w = s.base_power_w
+                + s.hvx_power_w
+                + s.hmx_power_w
+                + 2.0 * s.dma_power_w
+                + 4.0 * s.cpu_core_power_w;
+            assert!(
+                d.equilibrium_temp_c(sustained_max_w) < d.throttle_temp_c,
+                "{}: worst-case sustained equilibrium above cap",
+                d.name
+            );
+            // Tens-of-seconds thermal mass: the phone-chassis regime.
+            let tau = d.thermal_time_constant_secs();
+            assert!((10.0..120.0).contains(&tau), "{}: tau {tau}", d.name);
+            assert!(d.throttle_hysteresis_c > 0.0);
+            assert!((0.0..1.0).contains(&d.sustained_clock_mult));
+        }
     }
 
     #[test]

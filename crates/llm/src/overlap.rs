@@ -173,6 +173,44 @@ impl StepStages {
         total + switches as f64 * self.switch_secs
     }
 
+    /// The same step re-priced at a DVFS clock multiplier: every
+    /// rate-derived duration (CPU blocks, NPU kernels, dispatch, weight
+    /// fetches, the final norm) dilates by `1/mult`, mirroring
+    /// [`hexsim::device::DeviceProfile::at_clock`] where every rate constant
+    /// scales by `mult`. The per-switch seconds stay fixed — a FastRPC
+    /// handle swap is host-side latency, not DVFS-domain compute — so a
+    /// sharded step under throttle is *not* a pure `1/mult` dilation: the
+    /// switches grow relatively cheaper, exactly as they do when the
+    /// scaled device is measured from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < mult <= 1`.
+    pub fn at_clock(&self, mult: f64) -> StepStages {
+        assert!(
+            mult > 0.0 && mult <= 1.0,
+            "clock multiplier {mult} outside (0, 1]"
+        );
+        StepStages {
+            cpu_embed_secs: self.cpu_embed_secs / mult,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerStage {
+                    npu_secs: l.npu_secs / mult,
+                    dispatch_secs: l.dispatch_secs / mult,
+                    switch_before: l.switch_before,
+                    weight_fetch_secs: l.weight_fetch_secs / mult,
+                })
+                .collect(),
+            final_npu_secs: self.final_npu_secs / mult,
+            cpu_head_secs: self.cpu_head_secs / mult,
+            switch_secs: self.switch_secs,
+            wrap_switch: self.wrap_switch,
+            batch: self.batch,
+        }
+    }
+
     /// Fuses two stage breakdowns of the *same* layer walk into the stage
     /// breakdown of a single combined walk — the cost model of chunked
     /// prefill interleaved with decode (the serving gateway rides a
@@ -617,6 +655,55 @@ mod tests {
         let sb = steady_state_step_secs(&b);
         assert!(fused >= sa.max(sb) - 1e-12, "{fused} vs {sa}/{sb}");
         assert!(fused <= sa + sb + 1e-12, "{fused} vs {sa}+{sb}");
+    }
+
+    #[test]
+    fn at_clock_dilates_the_critical_path_by_one_over_mult() {
+        // No switches: the whole graph is rate-derived, so the steady
+        // period and single-pass time dilate by exactly 1/mult.
+        let st = stages(8);
+        let m = 0.6;
+        let slow = st.at_clock(m);
+        let burst = steady_state_step_secs(&st);
+        let throttled = steady_state_step_secs(&slow);
+        assert!(
+            (throttled - burst / m).abs() < 1e-12,
+            "{throttled} vs {}",
+            burst / m
+        );
+        let one = single_pass_secs(&slow);
+        assert!((one - single_pass_secs(&st) / m).abs() < 1e-12);
+        assert!((slow.serial_secs() - st.serial_secs() / m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_clock_keeps_switch_seconds_fixed() {
+        let mut st = stages(8);
+        st.layers[1].switch_before = true;
+        st.wrap_switch = true;
+        st.switch_secs = 30e-6;
+        let slow = st.at_clock(0.5);
+        assert_eq!(slow.switch_secs, st.switch_secs);
+        assert!(slow.layers[1].switch_before && slow.wrap_switch);
+        // Serial time is the dilated rate work plus the *undilated*
+        // switches — strictly less than a pure 2x dilation.
+        let rate_work = st.serial_secs() - 2.0 * st.switch_secs;
+        let want = rate_work / 0.5 + 2.0 * st.switch_secs;
+        assert!((slow.serial_secs() - want).abs() < 1e-12);
+        assert!(slow.serial_secs() < st.serial_secs() * 2.0);
+    }
+
+    #[test]
+    fn at_clock_unity_is_identity() {
+        let mut st = stages(4);
+        st.layers[0].weight_fetch_secs = 2e-3;
+        assert_eq!(st.at_clock(1.0), st);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn at_clock_rejects_overclock() {
+        let _ = stages(4).at_clock(1.5);
     }
 
     #[test]

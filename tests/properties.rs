@@ -324,3 +324,128 @@ proptest! {
         prop_assert_eq!(ctx.ddr_mapped_bytes(), ddr_model_only);
     }
 }
+
+proptest! {
+    // Thermal RC model + DVFS governor invariants. Cheap pure arithmetic,
+    // so the full case count is fine.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under constant power a die heats monotonically toward (and never
+    /// crosses) its equilibrium temperature.
+    #[test]
+    fn thermal_heating_is_monotone_and_bounded_by_equilibrium(
+        dev in 0usize..3,
+        power_w in 0.5f64..9.0,
+        dt_ms in 5.0f64..200.0,
+        steps in 1usize..4000
+    ) {
+        let device = DeviceProfile::all()[dev].clone();
+        let eq = device.equilibrium_temp_c(power_w);
+        let mut s = npuscale::thermal::ThermalState::ambient(&device);
+        let mut prev = s.temp_c;
+        for _ in 0..steps {
+            s.step(&device, power_w, dt_ms / 1000.0);
+            prop_assert!(s.temp_c >= prev, "cooled under load: {} -> {}", prev, s.temp_c);
+            prop_assert!(s.temp_c <= eq + 1e-9, "overshot equilibrium {}: {}", eq, s.temp_c);
+            prev = s.temp_c;
+        }
+    }
+
+    /// A governed die never exceeds its throttle cap by more than the
+    /// single step that crossed it: once over the cap the governor is
+    /// throttled and the worst-case sustained equilibrium sits below the
+    /// cap, so the temperature immediately relaxes.
+    #[test]
+    fn governed_die_never_exceeds_cap_plus_one_step(
+        dev in 0usize..3,
+        utils in prop::collection::vec(0.0f64..=1.0, 400),
+        dt_ms in 10.0f64..150.0
+    ) {
+        let device = DeviceProfile::all()[dev].clone();
+        let dt = dt_ms / 1000.0;
+        // Worst-case dynamic draw: every engine lane at utilization `u`,
+        // both memory lanes and all four CPU cores included.
+        let dyn_max = device.hvx_power_w
+            + device.hmx_power_w
+            + 2.0 * device.dma_power_w
+            + 4.0 * device.cpu_core_power_w;
+        let mult3 = device.sustained_clock_mult.powi(3);
+        // One worst-case burst step is the largest possible overshoot:
+        // a crossing step always starts below the cap, and while over
+        // the cap the governor is throttled, so the die only cools.
+        let slack = (device.base_power_w + dyn_max) * dt / device.thermal_capacitance_j_per_c;
+        let mut s = npuscale::thermal::ThermalState::ambient(&device);
+        let mut governor = npuscale::thermal::DvfsGovernor::new();
+        for &u in &utils {
+            governor.observe(&device, s.temp_c);
+            // Cube-law: throttled steps draw mult^3 of the dynamic power.
+            let power_w = if governor.is_throttled() {
+                device.base_power_w + u * dyn_max * mult3
+            } else {
+                device.base_power_w + u * dyn_max
+            };
+            s.step(&device, power_w, dt);
+            prop_assert!(
+                s.temp_c <= device.throttle_temp_c + slack + 1e-9,
+                "temp {} cap {} slack {}",
+                s.temp_c, device.throttle_temp_c, slack
+            );
+        }
+    }
+
+    /// An idle die always relaxes toward ambient: monotone decrease,
+    /// never undershooting, and gone after many time constants.
+    #[test]
+    fn idle_die_relaxes_to_ambient(
+        dev in 0usize..3,
+        excess in 0.1f64..40.0,
+        dt_ms in 5.0f64..500.0
+    ) {
+        let device = DeviceProfile::all()[dev].clone();
+        let dt = dt_ms / 1000.0;
+        let mut s = npuscale::thermal::ThermalState {
+            temp_c: device.ambient_temp_c + excess,
+        };
+        let tau = device.thermal_time_constant_secs();
+        let steps = (12.0 * tau / dt).ceil() as usize;
+        let mut prev = s.temp_c;
+        for _ in 0..steps {
+            s.step(&device, 0.0, dt);
+            prop_assert!(s.temp_c <= prev, "heated while idle");
+            prop_assert!(s.temp_c >= device.ambient_temp_c - 1e-9, "undershot ambient");
+            prev = s.temp_c;
+        }
+        // 12 tau: the excess has decayed below e^-12 ~ 6e-6 of its start.
+        prop_assert!(
+            s.temp_c - device.ambient_temp_c < excess * 1e-4 + 1e-9,
+            "still {} above ambient after 12 tau", s.temp_c - device.ambient_temp_c
+        );
+    }
+
+    /// Energy is conserved across arbitrary step interleavings: the
+    /// joules pushed in equal the capacitance delta plus everything
+    /// dissipated to ambient, whatever the (power, dt) sequence.
+    #[test]
+    fn thermal_energy_is_conserved_across_random_interleavings(
+        dev in 0usize..3,
+        powers in prop::collection::vec(0.0f64..10.0, 300),
+        dts_ms in prop::collection::vec(1.0f64..300.0, 300)
+    ) {
+        let device = DeviceProfile::all()[dev].clone();
+        let mut s = npuscale::thermal::ThermalState::ambient(&device);
+        let start = s.temp_c;
+        let mut joules_in = 0.0f64;
+        let mut dissipated = 0.0f64;
+        for (&power_w, &dt_ms) in powers.iter().zip(&dts_ms) {
+            let dt = dt_ms / 1000.0;
+            dissipated += s.step(&device, power_w, dt);
+            joules_in += power_w * dt;
+        }
+        let stored = device.thermal_capacitance_j_per_c * (s.temp_c - start);
+        let budget = joules_in.abs().max(1.0);
+        prop_assert!(
+            (joules_in - stored - dissipated).abs() <= budget * 1e-9,
+            "in {} stored {} out {}", joules_in, stored, dissipated
+        );
+    }
+}
