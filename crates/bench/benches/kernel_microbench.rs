@@ -249,6 +249,48 @@ fn bench_lm_head_row(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_verify_argmax(c: &mut Criterion) {
+    // The speculative-decode verify host loop: one argmax per drafted row
+    // over the full vocabulary. Scalar reference against the chunked
+    // NEG_INFINITY-sentinel scan `ttscale::spec_decode::argmax` actually
+    // uses (bit-identical tie-breaking, pinned by the elementwise
+    // differential tests in spec_decode) — the same scalar-vs-chunked pin
+    // pattern as the lm_head group above.
+    use ttscale::spec_decode::{argmax, argmax_scalar};
+    let mut group = c.benchmark_group("verify_argmax");
+    let (rows, vocab) = (4usize, 8192usize);
+    group.throughput(Throughput::Elements((rows * vocab) as u64));
+    let logits: Vec<Vec<f32>> = (0..rows)
+        .map(|r| {
+            (0..vocab)
+                .map(|i| (((r * vocab + i) % 211) as f32) / 7.0 - 15.0)
+                .collect()
+        })
+        .collect();
+    for row in &logits {
+        assert_eq!(argmax(row), argmax_scalar(row));
+    }
+    group.bench_function("rows4_scalar_v8192", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for row in std::hint::black_box(&logits) {
+                acc = acc.wrapping_add(argmax_scalar(row));
+            }
+            acc
+        })
+    });
+    group.bench_function("rows4_chunked_v8192", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for row in std::hint::black_box(&logits) {
+                acc = acc.wrapping_add(argmax(row));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_hmx_tile(c: &mut Criterion) {
     let mut group = c.benchmark_group("hmx");
     group.throughput(Throughput::Elements(32 * 32 * 32));
@@ -277,6 +319,6 @@ fn bench_hmx_tile(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_f16_conversion, bench_lut_dequant, bench_softmax, bench_attention_host, bench_lm_head_row, bench_hmx_tile
+    targets = bench_f16_conversion, bench_lut_dequant, bench_softmax, bench_attention_host, bench_lm_head_row, bench_verify_argmax, bench_hmx_tile
 }
 criterion_main!(benches);

@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod power;
 pub mod serve;
 pub mod session;
+pub mod spec;
 pub mod thermal;
 
 pub use backend::{Backend, FitReport, NpuSimBackend};

@@ -21,6 +21,11 @@ pub enum ModelId {
     Qwen3B,
     /// Qwen 2.5 7B Instruct ("Q7", performance-cost comparison only).
     Qwen7B,
+    /// Qwen 2.5 0.5B Instruct ("Q0.5"): the draft model of the Section 9
+    /// speculative-decoding pipeline. Not part of the paper's on-device
+    /// evaluation set — it rides along with a target model, so it never
+    /// appears in [`ModelId::on_device`].
+    Qwen0_5B,
     /// Tiny synthetic model for functional tests and examples.
     Tiny,
 }
@@ -34,6 +39,7 @@ impl ModelId {
             ModelId::Qwen1_5B => "Q1.5",
             ModelId::Qwen3B => "Q3",
             ModelId::Qwen7B => "Q7",
+            ModelId::Qwen0_5B => "Q0.5",
             ModelId::Tiny => "tiny",
         }
     }
@@ -151,6 +157,20 @@ impl ModelConfig {
                 vocab: 152_064,
                 rope_theta: 1_000_000.0,
                 tied_embeddings: false,
+            },
+            ModelId::Qwen0_5B => ModelConfig {
+                id,
+                name: "Qwen2.5-0.5B-Instruct",
+                params_b: 0.49,
+                hidden: 896,
+                layers: 24,
+                heads: 14,
+                kv_heads: 2,
+                head_dim: 64,
+                ffn: 4864,
+                vocab: 151_936,
+                rope_theta: 1_000_000.0,
+                tied_embeddings: true,
             },
             ModelId::Tiny => ModelConfig {
                 id,
@@ -312,6 +332,25 @@ mod tests {
         assert!(q3.dmabuf_bytes(4096) > 2 * 1024 * 1024 * 1024);
         let q15 = ModelConfig::for_id(ModelId::Qwen1_5B);
         assert!(q15.dmabuf_bytes(4096) < 2 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn draft_model_is_a_fraction_of_its_target() {
+        let q05 = ModelConfig::for_id(ModelId::Qwen0_5B);
+        assert_eq!(q05.hidden % 32, 0);
+        assert_eq!(q05.ffn % 32, 0);
+        assert_eq!(q05.q_dim() % 32, 0);
+        assert_eq!(q05.kv_dim() % 32, 0);
+        // The draft rides alongside Qwen-1.5B as its target: its NPU
+        // kernels must cost a small fraction of a target step.
+        let q15 = ModelConfig::for_id(ModelId::Qwen1_5B);
+        let ratio = q05.npu_weight_bytes() as f64 / q15.npu_weight_bytes() as f64;
+        assert!(
+            ratio > 0.15 && ratio < 0.4,
+            "draft/target NPU weight ratio {ratio}"
+        );
+        // It is not one of the paper's deployable evaluation models.
+        assert!(!ModelId::on_device().contains(&ModelId::Qwen0_5B));
     }
 
     #[test]

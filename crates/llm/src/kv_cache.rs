@@ -200,6 +200,31 @@ impl KvCache {
         }
     }
 
+    /// Truncates one sequence back to `new_len` tokens, returning the
+    /// discarded tail to the shared budget. This is the speculative-decode
+    /// rollback primitive: a verify pass appends `k+1` drafted positions,
+    /// and the rejected suffix is dropped in place instead of rebuilding
+    /// the cache from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len` exceeds the sequence's current length.
+    pub fn truncate_seq(&mut self, seq: usize, new_len: usize) {
+        assert!(
+            new_len <= self.len[seq],
+            "truncate_seq({new_len}) past current length {}",
+            self.len[seq]
+        );
+        self.len[seq] = new_len;
+        if !self.k.is_empty() {
+            let kv_dim = self.kv_heads * self.head_dim;
+            for layer in 0..self.layers {
+                self.k[layer][seq].truncate(new_len * kv_dim);
+                self.v[layer][seq].truncate(new_len * kv_dim);
+            }
+        }
+    }
+
     /// Captures one sequence's KV rows (typically the shared prompt after
     /// prefill) so they can be re-installed into freed slots later.
     pub fn snapshot_seq(&self, seq: usize) -> KvSeqSnapshot {
@@ -377,6 +402,49 @@ mod tests {
         assert_eq!(k[0].to_f32(), 1.0);
         assert_eq!(v[0].to_f32(), 2.0);
         assert_eq!(cache.total_tokens(), 4);
+    }
+
+    #[test]
+    fn truncate_seq_drops_the_rejected_tail_in_place() {
+        let (_ctx, mut cache, cfg) = setup(2, 8);
+        for tag in 0..4 {
+            for layer in 0..cfg.layers {
+                cache
+                    .append(
+                        layer,
+                        0,
+                        &row(&cfg, tag as f32),
+                        &row(&cfg, -(tag as f32)),
+                        true,
+                    )
+                    .unwrap();
+            }
+        }
+        cache.truncate_seq(0, 2);
+        assert_eq!(cache.len(0), 2);
+        assert_eq!(cache.total_tokens(), 2);
+        let (k, _) = cache.head_view(0, 0, 0);
+        assert_eq!(k.len(), 2 * cfg.head_dim);
+        assert_eq!(k[cfg.head_dim].to_f32(), 1.0);
+        // The freed tail is re-appendable: budget 8 absorbs 6 more rows.
+        for _ in 0..6 {
+            for layer in 0..cfg.layers {
+                cache
+                    .append(layer, 0, &row(&cfg, 9.0), &row(&cfg, 9.0), true)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.len(0), 8);
+        // Truncating to the current length is a no-op.
+        cache.truncate_seq(0, 8);
+        assert_eq!(cache.len(0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncate_seq")]
+    fn truncate_seq_past_length_panics() {
+        let (_ctx, mut cache, _cfg) = setup(1, 8);
+        cache.truncate_seq(0, 1);
     }
 
     #[test]

@@ -841,6 +841,8 @@ impl Model {
             switch_secs: self.schedule.switch_secs,
             wrap_switch: self.schedule.is_sharded(),
             batch: rows,
+            draft_cpu_secs: 0.0,
+            draft_npu_secs: 0.0,
         };
         // Prefill is one standalone pass: dispatch and session switches
         // overlap the walk, but there is no next step to pipeline into.
@@ -957,6 +959,8 @@ impl Model {
             switch_secs: self.schedule.switch_secs,
             wrap_switch: self.schedule.is_sharded(),
             batch,
+            draft_cpu_secs: 0.0,
+            draft_npu_secs: 0.0,
         };
         // Decode steps repeat, so the overlap-aware wall time is the
         // steady-state period of the pipelined schedule: the CPU tail of

@@ -28,7 +28,28 @@
 //! DISPATCH  ──[d0][d1]..[dn]───[d0][d1]..            (ring depth 2)
 //! SWITCH    ─────────[sw]───────────[wrap]─────────[sw]──────────── ...
 //! DMA       ──[fetch Lj]──[fetch Lk]──....   (weight streaming only)
+//! DRAFT     ──[draft round t]─────────[draft round t+1]──   (spec decode)
 //! ```
+//!
+//! # The DRAFT lane: speculative decoding
+//!
+//! Speculative decoding adds a second, smaller model that proposes the
+//! next `k` tokens while the target verifies the previous `k+1` in one
+//! batched pass. The draft's *CPU* half (embedding, lm_head rows,
+//! proposal argmax) runs on its own worker — [`lane::DRAFT`] — gated on
+//! the first rows of the verify's CPU block (the accept decision streams
+//! out row by row) and on the draft's own previous round
+//! ([`StepStages::draft_cpu_secs`]). The draft's *NPU* half shares
+//! [`lane::NPU`] with the target: submitted after the verify walk's final
+//! norm, it queues behind the verify kernels in lane order
+//! ([`StepStages::draft_npu_secs`]), because there is one physical
+//! accelerator. The next iteration's first layer depends on the draft
+//! round (its proposals are the verify batch), so under
+//! [`DispatchMode::Overlapped`] the steady-state period charges verify
+//! kernels plus only the draft's NPU share — the draft CPU work hides
+//! whenever the verify walk is longer, which is exactly the llm.npu-style
+//! win the paper's Section 9 rides. Both fields 0 (plain decode) submit
+//! nothing and build the exact pre-speculation task graph.
 //!
 //! Dependency edges (finish-to-start):
 //!
@@ -116,8 +137,17 @@ pub mod lane {
     /// region into the double-buffered session window (cold layers only;
     /// resident plans leave this lane empty).
     pub const DMA: usize = 4;
+    /// Draft-model host lane (speculative decoding only): the CPU side of
+    /// the next speculation round — draft embedding lookups, draft lm_head
+    /// rows and proposal argmax — runs on its own worker thread while the
+    /// target's verify kernels occupy the NPU. The draft's *NPU* kernels
+    /// are not a separate lane: they share [`NPU`] with the target
+    /// and serialize behind the verify pass in submission order, because
+    /// there is one physical accelerator. Plain decode leaves this lane
+    /// empty.
+    pub const DRAFT: usize = 5;
     /// Number of lanes.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 }
 
 /// One transformer layer's contribution to a step.
@@ -158,13 +188,27 @@ pub struct StepStages {
     /// Decode batch size (rows); controls how much of the CPU block the
     /// next step's first layer must wait for.
     pub batch: usize,
+    /// CPU seconds of the *draft model's* next speculation round
+    /// (speculative decoding only; 0 for plain decode). Runs on
+    /// [`lane::DRAFT`], so it hides behind the target's verify kernels
+    /// whenever the draft round is cheaper than the verify walk.
+    pub draft_cpu_secs: f64,
+    /// NPU kernel seconds of the draft's next speculation round
+    /// (speculative decoding only; 0 for plain decode). Shares
+    /// [`lane::NPU`] with the target and serializes behind the verify
+    /// pass — the exposed part of the draft round under overlap.
+    pub draft_npu_secs: f64,
 }
 
 impl StepStages {
     /// The serial (additive) wall time of the recorded stages — the same
     /// quantity as `StepCost::wall_secs()`, up to float association.
     pub fn serial_secs(&self) -> f64 {
-        let mut total = self.cpu_embed_secs + self.final_npu_secs + self.cpu_head_secs;
+        let mut total = self.cpu_embed_secs
+            + self.final_npu_secs
+            + self.cpu_head_secs
+            + self.draft_cpu_secs
+            + self.draft_npu_secs;
         let mut switches = usize::from(self.wrap_switch);
         for l in &self.layers {
             total += l.npu_secs + l.dispatch_secs + l.weight_fetch_secs;
@@ -208,6 +252,8 @@ impl StepStages {
             switch_secs: self.switch_secs,
             wrap_switch: self.wrap_switch,
             batch: self.batch,
+            draft_cpu_secs: self.draft_cpu_secs / mult,
+            draft_npu_secs: self.draft_npu_secs / mult,
         }
     }
 
@@ -255,6 +301,8 @@ impl StepStages {
             switch_secs: self.switch_secs.max(other.switch_secs),
             wrap_switch: self.wrap_switch || other.wrap_switch,
             batch: self.batch + other.batch,
+            draft_cpu_secs: self.draft_cpu_secs + other.draft_cpu_secs,
+            draft_npu_secs: self.draft_npu_secs + other.draft_npu_secs,
         }
     }
 }
@@ -271,6 +319,11 @@ struct IterTasks {
     /// next fetch waits for the older one to free its slot.
     last_stream_compute: Option<TaskId>,
     penult_stream_compute: Option<TaskId>,
+    /// Final task of the draft model's speculation round launched during
+    /// this iteration (speculative decoding only): the next iteration's
+    /// verify pass consumes its proposals, and the next draft round
+    /// continues from them.
+    draft_done: Option<TaskId>,
 }
 
 /// Submits one decode iteration to the timeline. `prev` is the previous
@@ -349,6 +402,11 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
             if let Some(w) = prev.and_then(|p| p.wrap_switch) {
                 ldeps.push(w);
             }
+            // A verify pass consumes the proposals drafted during the
+            // previous iteration.
+            if let Some(d) = prev.and_then(|p| p.draft_done) {
+                ldeps.push(d);
+            }
         }
         let lt = tl.submit(lane::NPU, layer.npu_secs, &ldeps);
         if fetch.is_some() {
@@ -373,6 +431,30 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
     } else {
         None
     };
+    // The draft model's next speculation round (speculative decoding
+    // only). Its CPU half runs on the dedicated draft worker, gated on the
+    // first rows of this iteration's CPU block (the accept decision of the
+    // previous verify streams out row by row) and on the draft's own
+    // previous round. Its NPU half shares the target's accelerator: being
+    // submitted after the final norm, it queues behind the verify kernels
+    // in lane order, so only this NPU share of the draft round can ever be
+    // exposed on the critical path — the CPU half hides whenever the
+    // verify walk is longer. Plain decode (both fields 0) submits nothing
+    // and builds the exact pre-speculation task graph.
+    let draft_done = if st.draft_cpu_secs > 0.0 || st.draft_npu_secs > 0.0 {
+        let mut ddeps: Vec<TaskId> = vec![cpu_first];
+        if let Some(d) = prev.and_then(|p| p.draft_done) {
+            ddeps.push(d);
+        }
+        let draft_cpu = tl.submit(lane::DRAFT, st.draft_cpu_secs, &ddeps);
+        if st.draft_npu_secs > 0.0 {
+            Some(tl.submit(lane::NPU, st.draft_npu_secs, &[draft_cpu]))
+        } else {
+            Some(draft_cpu)
+        }
+    } else {
+        None
+    };
     IterTasks {
         last_layer,
         penultimate_layer: penult_layer,
@@ -381,6 +463,7 @@ fn submit_iteration(tl: &mut Timeline, st: &StepStages, prev: Option<&IterTasks>
         wrap_switch,
         last_stream_compute: last_stream,
         penult_stream_compute: penult_stream,
+        draft_done,
     }
 }
 
@@ -460,6 +543,8 @@ mod tests {
             switch_secs: 0.0,
             wrap_switch: false,
             batch,
+            draft_cpu_secs: 0.0,
+            draft_npu_secs: 0.0,
         }
     }
 
@@ -697,6 +782,8 @@ mod tests {
     fn at_clock_unity_is_identity() {
         let mut st = stages(4);
         st.layers[0].weight_fetch_secs = 2e-3;
+        st.draft_cpu_secs = 1e-3;
+        st.draft_npu_secs = 2e-3;
         assert_eq!(st.at_clock(1.0), st);
     }
 
@@ -716,6 +803,93 @@ mod tests {
     }
 
     #[test]
+    fn serial_secs_charges_draft_stages_in_full() {
+        let mut st = stages(8);
+        st.draft_cpu_secs = 5e-3;
+        st.draft_npu_secs = 2e-3;
+        // 31.5 + 5 + 2 = 38.5 ms: serial mode pays the whole draft round.
+        assert!((st.serial_secs() - 38.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draft_cpu_hides_behind_verify_kernels() {
+        // A 5 ms draft CPU round against 20.5 ms of verify NPU kernels:
+        // the draft worker runs while the NPU verifies, so the period
+        // charges only the draft's *NPU* share, serialized on the shared
+        // accelerator: 20 + 0.5 + 2 = 22.5 ms. The 5 ms of draft CPU work
+        // vanish from the critical path.
+        let mut st = stages(8);
+        st.draft_cpu_secs = 5e-3;
+        st.draft_npu_secs = 2e-3;
+        let got = steady_state_step_secs(&st);
+        let want = (10.0 + 10.0 + 0.5 + 2.0) * 1e-3;
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        // Serial pays the full 7 ms draft round.
+        assert!(st.serial_secs() - got > 15e-3);
+    }
+
+    #[test]
+    fn slow_draft_round_paces_the_pipeline() {
+        // A draft round longer than the verify walk cannot hide: the
+        // pipeline degenerates to the draft chain (CPU 30 + NPU 2 ms).
+        let mut st = stages(8);
+        st.draft_cpu_secs = 30e-3;
+        st.draft_npu_secs = 2e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - 32e-3).abs() < 1e-12, "got {got}");
+        assert!(got < st.serial_secs());
+    }
+
+    #[test]
+    fn pure_cpu_draft_submits_no_npu_task() {
+        // A host-only proposer (e.g. the bigram draft) leaves the NPU
+        // lane's occupancy untouched: the period equals plain decode.
+        let base = steady_state_step_secs(&stages(8));
+        let mut st = stages(8);
+        st.draft_cpu_secs = 5e-3;
+        let got = steady_state_step_secs(&st);
+        assert!((got - base).abs() < 1e-12, "got {got}, base {base}");
+        let draft_util = steady_state_lane_utilization(&st, lane::DRAFT);
+        assert!(draft_util > 0.0 && draft_util < 1.0);
+    }
+
+    #[test]
+    fn zero_draft_fields_leave_the_draft_lane_empty() {
+        // Plain decode must take the exact pre-speculation code path: no
+        // draft task submitted, same task count as before the lane existed.
+        let st = stages(8);
+        let mut tl = Timeline::new(lane::COUNT);
+        let it = submit_iteration(&mut tl, &st, None);
+        assert_eq!(tl.lane_busy_secs(lane::DRAFT), 0.0);
+        assert_eq!(tl.task_count(), 7);
+        assert!(it.draft_done.is_none());
+    }
+
+    #[test]
+    fn at_clock_dilates_draft_stages() {
+        let mut st = stages(8);
+        st.draft_cpu_secs = 5e-3;
+        st.draft_npu_secs = 2e-3;
+        let slow = st.at_clock(0.5);
+        assert!((slow.draft_cpu_secs - 10e-3).abs() < 1e-15);
+        assert!((slow.draft_npu_secs - 4e-3).abs() < 1e-15);
+        let got = steady_state_step_secs(&slow);
+        assert!((got - 2.0 * steady_state_step_secs(&st)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_walks_sum_draft_rounds() {
+        let mut a = stages(8);
+        a.draft_cpu_secs = 1e-3;
+        a.draft_npu_secs = 2e-3;
+        let mut b = stages(2);
+        b.draft_cpu_secs = 3e-3;
+        let m = a.merged(&b);
+        assert!((m.draft_cpu_secs - 4e-3).abs() < 1e-15);
+        assert!((m.draft_npu_secs - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
     fn empty_walk_is_degenerate_but_bounded() {
         let st = StepStages {
             cpu_embed_secs: 1e-3,
@@ -725,6 +899,8 @@ mod tests {
             switch_secs: 0.0,
             wrap_switch: false,
             batch: 1,
+            draft_cpu_secs: 0.0,
+            draft_npu_secs: 0.0,
         };
         assert!(steady_state_step_secs(&st) <= st.serial_secs() + 1e-15);
         assert!(single_pass_secs(&st) <= st.serial_secs() + 1e-15);

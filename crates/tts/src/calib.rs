@@ -28,6 +28,10 @@ pub fn paper_base_accuracy(model: ModelId, dataset: DatasetKind) -> f64 {
         (ModelId::Llama3B, DatasetKind::Gsm8kLike) => 72.0,
         (ModelId::Qwen7B, DatasetKind::Math500Like) => 60.0,
         (ModelId::Qwen7B, DatasetKind::Gsm8kLike) => 88.0,
+        // Draft model for speculative decoding: weak as a solver, but it
+        // only ever proposes tokens the target verifies.
+        (ModelId::Qwen0_5B, DatasetKind::Math500Like) => 14.0,
+        (ModelId::Qwen0_5B, DatasetKind::Gsm8kLike) => 34.0,
         // The tiny test model is far below task competence.
         (ModelId::Tiny, _) => 2.0,
     }

@@ -30,5 +30,9 @@ pub use best_of_n::{best_of_n, pass_at_n_oracle};
 pub use calib::{quant_capability, quant_skill_penalty};
 pub use policy::{CalibratedPolicy, Step, Trajectory};
 pub use self_consistency::self_consistency;
-pub use spec_decode::{greedy_generate, speculative_generate, BigramDraft, DraftModel};
+pub use spec_decode::{
+    charge_accept_loop, draft_round_lanes, greedy_generate, speculative_decode_pipeline,
+    speculative_generate, speculative_generate_with, AcceptanceTrace, BigramDraft,
+    DraftLenController, DraftModel, SpecPipelineOutcome, SpecRound,
+};
 pub use verifier::{SimOrm, SimPrm};

@@ -325,6 +325,92 @@ proptest! {
     }
 }
 
+/// Replays an arbitrary proposal stream as a draft model: position in
+/// the committed sequence indexes the stream (wrapping), so a fully
+/// accepted round never desynchronizes the replay.
+struct ReplayDraft {
+    stream: Vec<u32>,
+    prompt_len: usize,
+}
+
+impl ttscale::spec_decode::DraftModel for ReplayDraft {
+    fn propose(&mut self, context: &[u32]) -> u32 {
+        let pos = context.len() - self.prompt_len;
+        self.stream[pos % self.stream.len()]
+    }
+}
+
+proptest! {
+    // Each case runs functional decode workloads on the tiny model.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Speculation is lossless against *any* draft: whatever token
+    /// stream the draft proposes and whatever the draft length, the
+    /// accepted sequence is bit-identical to plain greedy decoding, and
+    /// the target KV advances by exactly accepted + 1 per verify round.
+    #[test]
+    fn speculation_is_lossless_for_any_draft_stream(
+        proposals in prop::collection::vec(0u32..256, 32),
+        draft_len in 1usize..6,
+        new_tokens in 2usize..14
+    ) {
+        use npuscale_repro::prelude::*;
+        use ttscale::spec_decode::{greedy_generate, speculative_generate};
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 21).unwrap();
+        let prompt = vec![1u32, 50, 60, 70];
+        let (greedy, _) = greedy_generate(&mut ctx, &model, &prompt, new_tokens).unwrap();
+        let mut draft = ReplayDraft { stream: proposals, prompt_len: prompt.len() };
+        let spec = speculative_generate(
+            &mut ctx, &model, &mut draft, &prompt, new_tokens, draft_len,
+        ).unwrap();
+        prop_assert_eq!(&spec.tokens, &greedy, "speculation must be lossless");
+        let mut expect = prompt.len();
+        for r in &spec.rounds {
+            prop_assert!(r.accepted <= r.draft_len);
+            expect += r.accepted + 1;
+            prop_assert_eq!(r.kv_len, expect, "KV invariant violated");
+        }
+    }
+
+    /// The two-model pipeline is lossless under any adaptive-controller
+    /// configuration and any draft weights, maintains the per-round KV
+    /// invariant, and its overlapped schedule never exceeds the serial
+    /// stage sum.
+    #[test]
+    fn two_model_pipeline_is_lossless_under_any_controller(
+        draft_seed in 0u64..1000,
+        init in 1usize..5,
+        span in 0usize..4,
+        new_tokens in 2usize..14
+    ) {
+        use npuscale_repro::prelude::*;
+        use ttscale::spec_decode::{
+            greedy_generate, speculative_decode_pipeline, DraftLenController,
+        };
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let target = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 21).unwrap();
+        let draft = Model::new(
+            &mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, draft_seed,
+        ).unwrap();
+        let prompt = vec![1u32, 50, 60, 70, 80];
+        let (greedy, _) = greedy_generate(&mut ctx, &target, &prompt, new_tokens).unwrap();
+        let mut ctrl = DraftLenController::adaptive(init, 1, init + span);
+        let out = speculative_decode_pipeline(
+            &mut ctx, &target, &draft, &prompt, new_tokens, &mut ctrl,
+        ).unwrap();
+        prop_assert_eq!(&out.tokens, &greedy, "two-model speculation must be lossless");
+        prop_assert!(out.overlapped_secs <= out.serial_secs + 1e-12);
+        let mut expect = prompt.len();
+        for r in &out.rounds {
+            expect += r.accepted + 1;
+            prop_assert_eq!(r.kv_len, expect, "KV invariant violated");
+        }
+    }
+}
+
 proptest! {
     // Thermal RC model + DVFS governor invariants. Cheap pure arithmetic,
     // so the full case count is fine.
