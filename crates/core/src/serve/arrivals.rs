@@ -12,8 +12,12 @@
 //! [`poisson_trace`] draws exponential inter-arrival times at a total
 //! rate and assigns each arrival to a tenant by weight — fully seeded,
 //! so every run of a given `(tenants, rate, n, seed)` tuple produces the
-//! identical trace (the CI gate depends on this). [`replay_trace`] wraps
-//! explicit `(arrival, prompt, output)` tuples for trace-driven tests.
+//! identical trace (the CI gate depends on this). [`bursty_trace`] layers
+//! production-like structure on top: an on/off Markov-modulated rate with
+//! a diurnal envelope, sampled exactly by thinning. [`replay_trace`]
+//! wraps explicit `(arrival, prompt, output)` tuples for trace-driven
+//! tests; [`replay_trace_from`] and [`merge_traces`] compose replayed
+//! traces without colliding ids.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +85,9 @@ pub struct Request {
     /// Decode budget in tokens: the slot is reclaimed at this length even
     /// if no EOS fired.
     pub max_new: usize,
+    /// Fair-share weight inherited from the tenant — the denominator of
+    /// the WFQ virtual-time advance.
+    pub weight: f64,
 }
 
 fn draw_range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
@@ -137,6 +144,133 @@ pub fn poisson_trace(tenants: &[TenantSpec], rate_rps: f64, n: usize, seed: u64)
             prompt_len,
             output_len,
             max_new: tenant.output_lens.1,
+            weight: tenant.weight,
+        });
+    }
+    out
+}
+
+/// The shape of a bursty, diurnally modulated arrival process: a
+/// two-state (quiet/burst) Markov-modulated Poisson process whose
+/// instantaneous rate is further scaled by a sinusoid — the
+/// on/off-plus-daily-cycle structure production LLM traces exhibit,
+/// versus the memoryless stream [`poisson_trace`] draws.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstSpec {
+    /// Arrival rate during quiet stretches, requests/second.
+    pub base_rps: f64,
+    /// Arrival rate inside a burst, requests/second.
+    pub burst_rps: f64,
+    /// Mean quiet-state dwell time in seconds (exponential).
+    pub mean_quiet_secs: f64,
+    /// Mean burst dwell time in seconds (exponential).
+    pub mean_burst_secs: f64,
+    /// Period of the sinusoidal diurnal envelope in seconds; `0` turns
+    /// the envelope off.
+    pub diurnal_period_secs: f64,
+    /// Envelope amplitude in `[0, 1)`: the rate swings between
+    /// `(1 - depth)` and `(1 + depth)` times the state rate.
+    pub diurnal_depth: f64,
+}
+
+impl Default for BurstSpec {
+    fn default() -> Self {
+        BurstSpec {
+            base_rps: 1.0,
+            burst_rps: 10.0,
+            mean_quiet_secs: 8.0,
+            mean_burst_secs: 2.0,
+            diurnal_period_secs: 60.0,
+            diurnal_depth: 0.3,
+        }
+    }
+}
+
+/// Generates `n` requests from a seeded on/off modulated Poisson process
+/// with an optional diurnal envelope, splitting arrivals across `tenants`
+/// by weight exactly like [`poisson_trace`]. Candidate arrivals are drawn
+/// at the peak rate and thinned against the instantaneous rate
+/// (Lewis–Shedler), so the output is an exact sample of the
+/// inhomogeneous process and fully deterministic in
+/// `(tenants, spec, n, seed)`.
+pub fn bursty_trace(tenants: &[TenantSpec], spec: &BurstSpec, n: usize, seed: u64) -> Vec<Request> {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    assert!(
+        spec.base_rps > 0.0 && spec.burst_rps > 0.0,
+        "arrival rates must be positive"
+    );
+    assert!(
+        spec.mean_quiet_secs > 0.0 && spec.mean_burst_secs > 0.0,
+        "state dwell times must be positive"
+    );
+    assert!(
+        (0.0..1.0).contains(&spec.diurnal_depth),
+        "diurnal depth must be in [0, 1)"
+    );
+    let total_weight: f64 = tenants.iter().map(|t| t.weight).sum();
+    assert!(
+        total_weight > 0.0 && tenants.iter().all(|t| t.weight > 0.0),
+        "tenant weights must be positive"
+    );
+    fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() * mean
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let peak_rps = spec.base_rps.max(spec.burst_rps) * (1.0 + spec.diurnal_depth);
+    let mut clock = 0.0f64;
+    let mut bursting = false;
+    let mut switch_at = exp_draw(&mut rng, spec.mean_quiet_secs);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Candidate at the peak rate; the state chain advances to the
+        // candidate's time before the thinning decision prices it.
+        clock += exp_draw(&mut rng, 1.0 / peak_rps);
+        while clock >= switch_at {
+            bursting = !bursting;
+            switch_at += exp_draw(
+                &mut rng,
+                if bursting {
+                    spec.mean_burst_secs
+                } else {
+                    spec.mean_quiet_secs
+                },
+            );
+        }
+        let state_rps = if bursting {
+            spec.burst_rps
+        } else {
+            spec.base_rps
+        };
+        let envelope = if spec.diurnal_period_secs > 0.0 {
+            1.0 + spec.diurnal_depth
+                * (std::f64::consts::TAU * clock / spec.diurnal_period_secs).sin()
+        } else {
+            1.0
+        };
+        let keep: f64 = rng.gen_range(0.0..1.0);
+        if keep * peak_rps >= state_rps * envelope {
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let tenant = tenants
+            .iter()
+            .find(|t| {
+                pick -= t.weight;
+                pick < 0.0
+            })
+            .unwrap_or(&tenants[tenants.len() - 1]);
+        let prompt_len = draw_range(&mut rng, tenant.prompt_lens);
+        let output_len = draw_range(&mut rng, tenant.output_lens);
+        out.push(Request {
+            id: out.len() as u64,
+            tenant: tenant.name.clone(),
+            priority: tenant.priority,
+            arrival_secs: clock,
+            prompt_len,
+            output_len,
+            max_new: tenant.output_lens.1,
+            weight: tenant.weight,
         });
     }
     out
@@ -144,8 +278,22 @@ pub fn poisson_trace(tenants: &[TenantSpec], rate_rps: f64, n: usize, seed: u64)
 
 /// Wraps explicit `(arrival_secs, prompt_len, output_len)` tuples as a
 /// request trace for `tenant` — the trace-replay arrival path. The decode
-/// budget of every request is the tenant's output upper bound.
+/// budget of every request is the tenant's output upper bound. Ids count
+/// from zero; compose multiple replayed traces with
+/// [`replay_trace_from`] or [`merge_traces`], never by concatenation
+/// (duplicate ids corrupt the gateway's deterministic tie-breaks, and
+/// [`crate::serve::FleetGateway::serve_trace`] rejects them).
 pub fn replay_trace(tenant: &TenantSpec, points: &[(f64, usize, usize)]) -> Vec<Request> {
+    replay_trace_from(tenant, points, 0)
+}
+
+/// [`replay_trace`] with ids counting from `first_id` — the offset that
+/// lets several replayed tenants coexist in one trace without colliding.
+pub fn replay_trace_from(
+    tenant: &TenantSpec,
+    points: &[(f64, usize, usize)],
+    first_id: u64,
+) -> Vec<Request> {
     points
         .iter()
         .enumerate()
@@ -156,16 +304,47 @@ pub fn replay_trace(tenant: &TenantSpec, points: &[(f64, usize, usize)]) -> Vec<
                 tenant.output_lens.1
             );
             Request {
-                id: i as u64,
+                id: first_id + i as u64,
                 tenant: tenant.name.clone(),
                 priority: tenant.priority,
                 arrival_secs,
                 prompt_len,
                 output_len,
                 max_new: tenant.output_lens.1,
+                weight: tenant.weight,
             }
         })
         .collect()
+}
+
+/// Merges traces into one, re-offsetting each part's ids past the
+/// maximum id of everything before it so the result is collision-free.
+/// Relative id order (and hence every same-arrival tie-break) within a
+/// part is preserved; request order is the concatenation order.
+///
+/// # Panics
+///
+/// Panics if any single part carries an internal duplicate id — that is
+/// a corrupt trace, not a composition artifact this helper can repair.
+pub fn merge_traces(parts: &[Vec<Request>]) -> Vec<Request> {
+    let mut out: Vec<Request> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    let mut next_id = 0u64;
+    for part in parts {
+        let mut ids: Vec<u64> = part.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert!(
+            ids.windows(2).all(|w| w[0] != w[1]),
+            "merge_traces input part carries duplicate ids"
+        );
+        let base = next_id;
+        for r in part {
+            let mut r = r.clone();
+            r.id += base;
+            next_id = next_id.max(r.id + 1);
+            out.push(r);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -225,5 +404,77 @@ mod tests {
         assert_eq!(trace[1].output_len, 16);
         assert_eq!(trace[1].max_new, 32);
         assert_eq!(trace[0].priority, t.priority);
+        assert_eq!(trace[0].weight, t.weight);
+    }
+
+    #[test]
+    fn merged_traces_have_unique_ids_and_preserve_order() {
+        let chat = replay_trace(
+            &TenantSpec::interactive("chat"),
+            &[(0.0, 32, 4), (0.2, 48, 8)],
+        );
+        let batch = replay_trace_from(&TenantSpec::batch("batch"), &[(0.1, 256, 8)], 0);
+        let merged = merge_traces(&[chat.clone(), batch, chat]);
+        assert_eq!(merged.len(), 5);
+        let mut ids: Vec<u64> = merged.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert!(ids.windows(2).all(|w| w[0] != w[1]), "ids {ids:?}");
+        // First part keeps its ids verbatim; later parts shift past it.
+        assert_eq!(merged[0].id, 0);
+        assert_eq!(merged[1].id, 1);
+        assert_eq!(merged[2].id, 2);
+        assert_eq!(merged[2].tenant, "batch");
+        assert!(merged[3].id > merged[2].id);
+        // Arrival shapes survive the renumbering untouched.
+        assert_eq!(merged[3].arrival_secs, merged[0].arrival_secs);
+        assert_eq!(merged[3].prompt_len, merged[0].prompt_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ids")]
+    fn merge_rejects_internally_corrupt_parts() {
+        let t = TenantSpec::interactive("chat");
+        let mut part = replay_trace(&t, &[(0.0, 32, 4), (0.1, 32, 4)]);
+        part[1].id = 0;
+        merge_traces(&[part]);
+    }
+
+    #[test]
+    fn bursty_trace_is_seed_deterministic_and_burstier_than_poisson() {
+        let tenants = [TenantSpec::interactive("chat"), TenantSpec::batch("batch")];
+        let spec = BurstSpec::default();
+        let a = bursty_trace(&tenants, &spec, 300, 17);
+        let b = bursty_trace(&tenants, &spec, 300, 17);
+        assert_eq!(a.len(), 300);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_secs, y.arrival_secs);
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.tenant, y.tenant);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_secs <= w[1].arrival_secs));
+        // Coefficient of variation of inter-arrival gaps: 1 for a
+        // memoryless Poisson stream, strictly above it for the on/off
+        // modulated process — the burstiness the generator exists for.
+        let cv = |trace: &[Request]| {
+            let gaps: Vec<f64> = trace
+                .windows(2)
+                .map(|w| w[1].arrival_secs - w[0].arrival_secs)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let poisson = poisson_trace(&tenants, 3.0, 300, 17);
+        assert!(
+            cv(&a) > 1.2 && cv(&a) > cv(&poisson),
+            "bursty CV {} vs poisson CV {}",
+            cv(&a),
+            cv(&poisson)
+        );
+        let c = bursty_trace(&tenants, &spec, 300, 18);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.arrival_secs != y.arrival_secs));
     }
 }

@@ -33,6 +33,23 @@ impl SloConfig {
     }
 }
 
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. Ranges from `1/n` (one tenant holds everything)
+/// to `1.0` (perfectly equal); degenerate inputs (empty, or all zero)
+/// score `1.0` — nothing was served, so nothing was served unfairly.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    assert!(
+        allocations.iter().all(|x| *x >= 0.0),
+        "Jain index is defined over non-negative allocations"
+    );
+    let sum: f64 = allocations.iter().sum();
+    let sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sq)
+}
+
 /// Nearest-rank percentile of `samples` (`pct` in 0..=100); 0 when the
 /// sample set is empty. Sorts a copy — callers pass raw sample vectors.
 pub fn percentile(samples: &[f64], pct: f64) -> f64 {
@@ -62,6 +79,16 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn jain_index_ranges_from_monopoly_to_equality() {
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let mid = jain_index(&[3.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0, "mid {mid}");
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
     }
 
     #[test]

@@ -55,10 +55,14 @@ pub mod gateway;
 pub mod metrics;
 pub mod scheduler;
 
-pub use arrivals::{poisson_trace, replay_trace, Request, TenantSpec};
+pub use arrivals::{
+    bursty_trace, merge_traces, poisson_trace, replay_trace, replay_trace_from, BurstSpec, Request,
+    TenantSpec,
+};
 pub use gateway::{FleetGateway, ServingReport, TenantReport, WorkerReport};
-pub use metrics::{percentile, SloConfig};
+pub use metrics::{jain_index, percentile, SloConfig};
 pub use scheduler::{
-    predicted_completion_secs, predicted_completion_secs_thermal, AdmissionQueue, FleetSpec,
-    GatewayConfig, PrefillMode, ThermalPolicy, WorkerOracle, WorkerSpec,
+    predicted_completion_secs, predicted_completion_secs_thermal, strict_before, wfq_before,
+    AdmissionQueue, FleetSpec, GatewayConfig, PreemptionPolicy, PrefillMode, QueueEntry,
+    SchedulingPolicy, ThermalPolicy, WfqState, WorkerOracle, WorkerSpec,
 };

@@ -131,6 +131,37 @@ pub enum ThermalPolicy {
     Aware,
 }
 
+/// How the dispatcher orders waiting requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Strict priority: highest tenant priority first, ties by arrival
+    /// then id. Every pre-WFQ serving number reproduces bit-for-bit
+    /// under this default.
+    #[default]
+    StrictPriority,
+    /// Weighted fair queueing over served token budgets: each tenant
+    /// carries a virtual time that advances by `tokens / weight` as the
+    /// fleet serves it ([`WfqState`]), and the dispatcher serves the
+    /// backlogged tenant with the smallest virtual time — long-run
+    /// served-token shares converge to the weight ratio, so a
+    /// high-priority overload cannot starve the batch tenant to zero.
+    Wfq,
+}
+
+/// Whether the dispatcher may pause an active decode mid-stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PreemptionPolicy {
+    /// Never preempt: an arrival waits for a KV slot to free naturally.
+    #[default]
+    Disabled,
+    /// A waiting request may pause the worst active decode of *strictly
+    /// lower* priority: the victim's KV is snapshotted
+    /// ([`edgellm::PreemptedSeq`]), its slot freed for the newcomer, and
+    /// it resumes later — on the same worker, KV intact — producing
+    /// output bit-identical to an uninterrupted run.
+    Enabled,
+}
+
 /// Gateway policy knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct GatewayConfig {
@@ -143,6 +174,10 @@ pub struct GatewayConfig {
     pub slo: SloConfig,
     /// Thermal/DVFS treatment of the worker dies.
     pub thermal: ThermalPolicy,
+    /// Queue ordering discipline.
+    pub scheduling: SchedulingPolicy,
+    /// Mid-stream decode preemption.
+    pub preemption: PreemptionPolicy,
 }
 
 impl Default for GatewayConfig {
@@ -152,6 +187,82 @@ impl Default for GatewayConfig {
             prefill: PrefillMode::Chunked { chunk_tokens: 32 },
             slo: SloConfig::default(),
             thermal: ThermalPolicy::default(),
+            scheduling: SchedulingPolicy::default(),
+            preemption: PreemptionPolicy::default(),
+        }
+    }
+}
+
+/// Per-tenant virtual-time accounting for weighted fair queueing.
+///
+/// A tenant's virtual time advances by `tokens / weight` whenever the
+/// fleet serves its tokens (prompt tokens charged with the first token,
+/// one per decode emission after). Serving the smallest virtual time
+/// first makes long-run served-token shares track the weight ratio
+/// regardless of arrival pattern — the classic fair-queueing invariant.
+#[derive(Clone, Debug)]
+pub struct WfqState {
+    vtime: Vec<f64>,
+    weight: Vec<f64>,
+    served: Vec<u64>,
+}
+
+impl WfqState {
+    /// Zeroed accounting for tenants with the given (positive) weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            weights.iter().all(|w| *w > 0.0),
+            "tenant weights must be positive"
+        );
+        WfqState {
+            vtime: vec![0.0; weights.len()],
+            weight: weights.to_vec(),
+            served: vec![0; weights.len()],
+        }
+    }
+
+    /// Number of tenants tracked.
+    pub fn tenants(&self) -> usize {
+        self.vtime.len()
+    }
+
+    /// The tenant's current virtual time (its dispatch ordering key).
+    pub fn vtime(&self, tenant: usize) -> f64 {
+        self.vtime[tenant]
+    }
+
+    /// Tokens (prompt + generated) served to the tenant so far.
+    pub fn served_tokens(&self, tenant: usize) -> u64 {
+        self.served[tenant]
+    }
+
+    /// Virtual times of every tenant, in tenant order — the snapshot the
+    /// dispatcher orders one scan against.
+    pub fn vtimes(&self) -> &[f64] {
+        &self.vtime
+    }
+
+    /// Charges `tokens` of service to `tenant`, advancing its virtual
+    /// time by `tokens / weight`.
+    pub fn charge(&mut self, tenant: usize, tokens: u64) {
+        self.vtime[tenant] += tokens as f64 / self.weight[tenant];
+        self.served[tenant] += tokens;
+    }
+
+    /// Re-floors a tenant's virtual time to the minimum of the others'
+    /// when it becomes backlogged after an idle stretch: an idle tenant
+    /// must not bank unbounded credit it can later spend starving the
+    /// tenants that kept the fleet busy.
+    pub fn wake(&mut self, tenant: usize) {
+        let floor = self
+            .vtime
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != tenant)
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        if floor.is_finite() && self.vtime[tenant] < floor {
+            self.vtime[tenant] = floor;
         }
     }
 }
@@ -274,30 +385,46 @@ pub fn predicted_completion_secs_thermal(
 }
 
 /// A request waiting for fleet capacity.
-#[derive(Clone, Debug)]
-struct QueuedReq {
+#[derive(Clone, Copy, Debug)]
+pub struct QueueEntry {
     /// Index into the gateway's trace.
-    req: usize,
-    priority: u8,
-    arrival_secs: f64,
-    id: u64,
+    pub req: usize,
+    /// Tenant priority — the strict-priority ordering key.
+    pub priority: u8,
+    /// Arrival time, the first tie-break.
+    pub arrival_secs: f64,
+    /// Trace-unique request id, the final tie-break.
+    pub id: u64,
+    /// Tenant index (first-appearance order) — the WFQ ordering key
+    /// routes through the tenant's virtual time.
+    pub tenant: usize,
 }
 
-/// Bounded priority queue in front of the fleet.
+/// `true` when `a` should be served before `b` under strict priority:
+/// highest priority first, then earliest arrival, then lowest id.
+pub fn strict_before(a: &QueueEntry, b: &QueueEntry) -> bool {
+    (b.priority, a.arrival_secs, a.id) < (a.priority, b.arrival_secs, b.id)
+}
+
+/// `true` when `a` should be served before `b` under weighted fair
+/// queueing against the given per-tenant virtual-time snapshot: smallest
+/// tenant virtual time first, then earliest arrival, then lowest id.
+pub fn wfq_before(vtimes: &[f64], a: &QueueEntry, b: &QueueEntry) -> bool {
+    (vtimes[a.tenant], a.arrival_secs, a.id) < (vtimes[b.tenant], b.arrival_secs, b.id)
+}
+
+/// Bounded admission queue in front of the fleet.
 ///
-/// Ordering: highest priority first, then earliest arrival, then lowest
-/// id — fully deterministic. On overflow the worst-ordered request
-/// (queued or newcomer) is rejected.
+/// The ordering discipline is supplied per call (`strict_before` or a
+/// [`wfq_before`] closure over live virtual times — WFQ keys change as
+/// tokens are served, so entries cannot be ordered at insertion). Every
+/// comparator must be total and deterministic; on overflow the
+/// worst-ordered request (queued or newcomer) is rejected.
 #[derive(Debug)]
 pub struct AdmissionQueue {
-    items: Vec<QueuedReq>,
+    items: Vec<QueueEntry>,
     capacity: usize,
     peak_depth: usize,
-}
-
-/// `true` when `a` should be served before `b`.
-fn before(a: &QueuedReq, b: &QueuedReq) -> bool {
-    (b.priority, a.arrival_secs, a.id) < (a.priority, b.arrival_secs, b.id)
 }
 
 impl AdmissionQueue {
@@ -311,16 +438,14 @@ impl AdmissionQueue {
         }
     }
 
-    /// Offers a request. Returns `None` on acceptance, or the trace index
-    /// of the request that was rejected to make room (possibly the
-    /// offered one).
-    pub fn offer(&mut self, req: usize, priority: u8, arrival_secs: f64, id: u64) -> Option<usize> {
-        let cand = QueuedReq {
-            req,
-            priority,
-            arrival_secs,
-            id,
-        };
+    /// Offers a request under the given ordering. Returns `None` on
+    /// acceptance, or the trace index of the request that was rejected to
+    /// make room (possibly the offered one).
+    pub fn offer(
+        &mut self,
+        cand: QueueEntry,
+        before: &dyn Fn(&QueueEntry, &QueueEntry) -> bool,
+    ) -> Option<usize> {
         if self.items.len() < self.capacity {
             self.items.push(cand);
             self.peak_depth = self.peak_depth.max(self.items.len());
@@ -348,15 +473,22 @@ impl AdmissionQueue {
         }
     }
 
-    /// Trace index of the best-ordered waiting request.
-    pub fn peek(&self) -> Option<usize> {
-        self.best_index().map(|i| self.items[i].req)
+    /// Removes and returns the best-ordered waiting request.
+    pub fn pop(&mut self, before: &dyn Fn(&QueueEntry, &QueueEntry) -> bool) -> Option<usize> {
+        let i = self.best_index(before)?;
+        Some(self.items.swap_remove(i).req)
     }
 
-    /// Removes and returns the best-ordered waiting request.
-    pub fn pop(&mut self) -> Option<usize> {
-        let i = self.best_index()?;
-        Some(self.items.swap_remove(i).req)
+    /// The waiting entries, in storage (not service) order — the
+    /// dispatcher's candidate scan orders a copy itself.
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.items
+    }
+
+    /// Removes the entry for trace index `req`, if queued.
+    pub fn remove(&mut self, req: usize) -> Option<QueueEntry> {
+        let i = self.items.iter().position(|e| e.req == req)?;
+        Some(self.items.swap_remove(i))
     }
 
     /// Requests currently waiting.
@@ -374,7 +506,7 @@ impl AdmissionQueue {
         self.items.is_empty()
     }
 
-    fn best_index(&self) -> Option<usize> {
+    fn best_index(&self, before: &dyn Fn(&QueueEntry, &QueueEntry) -> bool) -> Option<usize> {
         let mut best: Option<usize> = None;
         for i in 0..self.items.len() {
             match best {
@@ -391,31 +523,97 @@ impl AdmissionQueue {
 mod tests {
     use super::*;
 
+    fn entry(req: usize, priority: u8, arrival_secs: f64, id: u64, tenant: usize) -> QueueEntry {
+        QueueEntry {
+            req,
+            priority,
+            arrival_secs,
+            id,
+            tenant,
+        }
+    }
+
     #[test]
     fn queue_orders_by_priority_then_arrival() {
         let mut q = AdmissionQueue::new(4);
-        assert!(q.offer(0, 1, 0.0, 0).is_none());
-        assert!(q.offer(1, 2, 0.5, 1).is_none());
-        assert!(q.offer(2, 2, 0.2, 2).is_none());
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(0));
-        assert_eq!(q.pop(), None);
+        assert!(q.offer(entry(0, 1, 0.0, 0, 0), &strict_before).is_none());
+        assert!(q.offer(entry(1, 2, 0.5, 1, 0), &strict_before).is_none());
+        assert!(q.offer(entry(2, 2, 0.2, 2, 0), &strict_before).is_none());
+        assert_eq!(q.pop(&strict_before), Some(2));
+        assert_eq!(q.pop(&strict_before), Some(1));
+        assert_eq!(q.pop(&strict_before), Some(0));
+        assert_eq!(q.pop(&strict_before), None);
     }
 
     #[test]
     fn overflow_evicts_the_lowest_priority() {
         let mut q = AdmissionQueue::new(2);
-        assert!(q.offer(0, 1, 0.0, 0).is_none());
-        assert!(q.offer(1, 1, 0.1, 1).is_none());
+        assert!(q.offer(entry(0, 1, 0.0, 0, 0), &strict_before).is_none());
+        assert!(q.offer(entry(1, 1, 0.1, 1, 0), &strict_before).is_none());
         // A high-priority newcomer evicts the later low-priority entry.
-        assert_eq!(q.offer(2, 3, 0.2, 2), Some(1));
+        assert_eq!(q.offer(entry(2, 3, 0.2, 2, 1), &strict_before), Some(1));
         // A low-priority newcomer bounces off a full queue of betters.
-        assert_eq!(q.offer(3, 0, 0.3, 3), Some(3));
+        assert_eq!(q.offer(entry(3, 0, 0.3, 3, 2), &strict_before), Some(3));
         assert_eq!(q.depth(), 2);
         assert_eq!(q.peak_depth(), 2);
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(&strict_before), Some(2));
+        assert_eq!(q.pop(&strict_before), Some(0));
+    }
+
+    #[test]
+    fn queue_remove_extracts_by_trace_index() {
+        let mut q = AdmissionQueue::new(4);
+        assert!(q.offer(entry(7, 1, 0.0, 0, 0), &strict_before).is_none());
+        assert!(q.offer(entry(9, 2, 0.1, 1, 1), &strict_before).is_none());
+        assert_eq!(q.remove(9).map(|e| e.id), Some(1));
+        assert!(q.remove(9).is_none());
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.entries()[0].req, 7);
+    }
+
+    #[test]
+    fn wfq_orders_by_virtual_time_not_priority() {
+        // Tenant 0 outranks tenant 1 on priority but has been served more
+        // tokens per unit weight: WFQ serves the starved tenant first,
+        // strict priority would not.
+        let mut wfq = WfqState::new(&[3.0, 1.0]);
+        wfq.charge(0, 90); // vtime 30
+        wfq.charge(1, 20); // vtime 20
+        let a = entry(0, 2, 0.0, 0, 0);
+        let b = entry(1, 1, 0.5, 1, 1);
+        assert!(strict_before(&a, &b));
+        let vt = wfq.vtimes().to_vec();
+        let before = |x: &QueueEntry, y: &QueueEntry| wfq_before(&vt, x, y);
+        assert!(before(&b, &a));
+        assert!(!before(&a, &b));
+        // The same discipline drives overflow eviction: a full queue
+        // evicts the highest-virtual-time tenant's request.
+        let mut q = AdmissionQueue::new(1);
+        assert!(q.offer(a, &before).is_none());
+        assert_eq!(q.offer(b, &before), Some(0));
+        assert_eq!(q.entries()[0].req, 1);
+    }
+
+    #[test]
+    fn wfq_charge_advances_by_inverse_weight_and_wake_refloors() {
+        let mut wfq = WfqState::new(&[2.0, 1.0]);
+        wfq.charge(0, 10);
+        wfq.charge(1, 10);
+        assert_eq!(wfq.vtime(0), 5.0);
+        assert_eq!(wfq.vtime(1), 10.0);
+        assert_eq!(wfq.served_tokens(0), 10);
+        assert_eq!(wfq.served_tokens(1), 10);
+        // Tenant 0 idles while tenant 1 racks up service; on waking,
+        // tenant 0's virtual time jumps to the floor (no banked credit)…
+        wfq.charge(1, 90);
+        wfq.wake(0);
+        assert_eq!(wfq.vtime(0), 100.0);
+        // …but a wake never rewinds a tenant already ahead.
+        wfq.wake(1);
+        assert_eq!(wfq.vtime(1), 100.0);
+        wfq.charge(1, 1);
+        wfq.wake(1);
+        assert_eq!(wfq.vtime(1), 101.0);
     }
 
     #[test]

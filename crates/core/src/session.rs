@@ -58,7 +58,7 @@
 use hexsim::prelude::*;
 use serde::{Deserialize, Serialize};
 
-pub use edgellm::decode_session::{DecodeSession, FinishedSeq, SeqId};
+pub use edgellm::decode_session::{DecodeSession, FinishedSeq, PreemptedSeq, SeqId};
 // The command-ring transport lives in the device substrate (`hexsim::ring`)
 // since `edgellm`'s layer walk started driving it per dispatched op; the
 // types are re-exported here so runtime code keeps one import path.

@@ -109,6 +109,48 @@ struct QueuedSeq {
     max_new: usize,
 }
 
+/// A decode paused mid-stream by [`DecodeSession::preempt`]: the
+/// sequence's KV rows (bit-exact in functional mode, the length in
+/// cost-only mode) plus every token generated so far. Handing this back
+/// to [`DecodeSession::resume`] re-installs the sequence into a free
+/// slot and the continuation is bit-identical to an uninterrupted
+/// decode — preemption is a scheduling choice, never a numeric one.
+///
+/// The value is owned by the caller while paused: the session frees the
+/// KV slot at preemption time, so a scheduler can hand the slot to an
+/// interactive arrival and re-queue this state until capacity returns.
+#[derive(Clone, Debug)]
+pub struct PreemptedSeq {
+    id: SeqId,
+    snap: KvSeqSnapshot,
+    current: u32,
+    emitted: usize,
+    max_new: usize,
+    tokens: Vec<u32>,
+}
+
+impl PreemptedSeq {
+    /// Id the sequence was admitted under (and resumes under).
+    pub fn id(&self) -> SeqId {
+        self.id
+    }
+
+    /// Tokens the sequence had emitted when it was paused.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// KV tokens the paused state carries (prompt + generated prefix).
+    pub fn kv_tokens(&self) -> usize {
+        self.snap.tokens()
+    }
+
+    /// The generated prefix, in emission order.
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+}
+
 /// A sequence whose *own* prompt (unrelated to the session's shared
 /// prompt) is being prefilled into its reserved KV slot chunk by chunk
 /// (admitted via [`DecodeSession::admit_prompt`]).
@@ -449,6 +491,66 @@ impl<'m> DecodeSession<'m> {
         })
     }
 
+    /// Pauses an active decode mid-stream: captures the sequence's KV
+    /// rows and generation state, then frees its slot. The slot is *not*
+    /// refilled from the shared-prompt queue — it is left free for the
+    /// caller (a preempting scheduler admits its urgent arrival into
+    /// it). Resume later with [`Self::resume`]; the continuation is
+    /// bit-identical to never having paused. Errors on ids that are not
+    /// currently active (queued and prefilling sequences hold no decode
+    /// state worth snapshotting — retire those instead).
+    pub fn preempt(&mut self, id: SeqId) -> SimResult<PreemptedSeq> {
+        let Some(slot) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().map(|a| a.id) == Some(id))
+        else {
+            return Err(SimError::Unsupported {
+                reason: format!("sequence {id} is not an active decode, cannot preempt"),
+            });
+        };
+        let seq = self.slots[slot].take().expect("slot checked active");
+        let snap = self.cache.snapshot_seq(slot);
+        self.cache.reset_seq(slot);
+        Ok(PreemptedSeq {
+            id: seq.id,
+            snap,
+            current: seq.current,
+            emitted: seq.emitted,
+            max_new: seq.max_new,
+            tokens: seq.tokens,
+        })
+    }
+
+    /// Re-installs a sequence paused by [`Self::preempt`] into a free
+    /// slot (not necessarily the one it was paused in): restores its KV
+    /// rows and generation state so the next [`Self::step`] continues
+    /// exactly where the paused decode left off. Requires a free slot
+    /// and KV budget headroom for the paused tokens; the paused state is
+    /// untouched on error, so a scheduler can retry once capacity
+    /// returns. Callers must not resume the same paused state twice.
+    pub fn resume(&mut self, paused: &PreemptedSeq) -> SimResult<SeqId> {
+        let Some(slot) = self.free_slot() else {
+            return Err(SimError::Unsupported {
+                reason: format!(
+                    "resume needs a free KV slot ({} active, {} prefilling of {})",
+                    self.active_count(),
+                    self.prefilling.len(),
+                    self.slots.len()
+                ),
+            });
+        };
+        self.cache.restore_seq(slot, &paused.snap)?;
+        self.slots[slot] = Some(ActiveSeq {
+            id: paused.id,
+            current: paused.current,
+            emitted: paused.emitted,
+            max_new: paused.max_new,
+            tokens: paused.tokens.clone(),
+        });
+        Ok(paused.id)
+    }
+
     /// Logits of the shared prompt's final position (empty in cost-only
     /// mode); the distribution admission tokens are sampled from.
     pub fn prompt_logits(&self) -> &[f32] {
@@ -464,6 +566,13 @@ impl<'m> DecodeSession<'m> {
     /// Number of sequences currently occupying slots.
     pub fn active_count(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Ids of the sequences currently occupying slots, in slot order.
+    /// Preempting schedulers pick victims from this set — only active
+    /// decodes hold KV state worth snapshotting.
+    pub fn active_ids(&self) -> Vec<SeqId> {
+        self.slots.iter().flatten().map(|s| s.id).collect()
     }
 
     /// Number of admitted sequences waiting for a slot.
@@ -793,6 +902,91 @@ mod tests {
         s.step(&mut ctx, |_, _| 0).unwrap();
         let decode_st = s.last_step_stages().unwrap().clone();
         assert_eq!(decode_st.layers.len(), model.cfg.layers);
+        s.release(&mut ctx);
+    }
+
+    #[test]
+    fn preempt_resume_is_bit_identical_to_uninterrupted_decode() {
+        // A sequence decoded 3 tokens, paused while a distractor churns
+        // through its slot, then resumed (landing in a different slot)
+        // must emit exactly the tokens of an uninterrupted run: the KV
+        // snapshot/restore round-trip is bit-exact.
+        let (mut ctx, model) = setup();
+        let shared = [2u32, 10, 11];
+        let own = [2u32, 7, 8, 9];
+        let run = |ctx: &mut NpuContext, preempt_after: Option<usize>| -> Vec<u32> {
+            let mut s = DecodeSession::new(ctx, &model, &shared, 2, 64).unwrap();
+            let id = s.admit_prompt(&own, 8, own.len()).unwrap();
+            while s.prefilling_count() > 0 {
+                s.prefill_step(ctx, greedy).unwrap();
+            }
+            let mut paused: Option<PreemptedSeq> = None;
+            let mut did_preempt = false;
+            let mut steps = 0usize;
+            let mut guard = 0usize;
+            loop {
+                guard += 1;
+                assert!(guard < 64, "session failed to drain");
+                if let Some(p) = &paused {
+                    // Resume once the distractor has drained the slot.
+                    if s.has_free_slot() {
+                        assert_eq!(s.resume(p).unwrap(), id);
+                        paused = None;
+                    }
+                }
+                if s.active_count() == 0 && paused.is_none() {
+                    break;
+                }
+                if s.active_count() > 0 {
+                    s.step(ctx, |_, logits| greedy(logits)).unwrap();
+                    steps += 1;
+                }
+                if preempt_after == Some(steps) && !did_preempt {
+                    did_preempt = true;
+                    let p = s.preempt(id).unwrap();
+                    assert_eq!(p.emitted(), steps + 1);
+                    assert!(p.kv_tokens() > own.len());
+                    // A distractor occupies (and dirties) the freed slot
+                    // while the victim is paused.
+                    let d = s.admit(77, 3).unwrap();
+                    s.step(ctx, |_, logits| greedy(logits)).unwrap();
+                    assert!(s.finished().iter().all(|f| f.id != d));
+                    paused = Some(p);
+                }
+            }
+            let done = s.into_finished(ctx);
+            done.iter().find(|f| f.id == id).unwrap().tokens.clone()
+        };
+        let uninterrupted = run(&mut ctx, None);
+        let preempted = run(&mut ctx, Some(3));
+        assert_eq!(uninterrupted.len(), 8);
+        assert_eq!(uninterrupted, preempted);
+    }
+
+    #[test]
+    fn preempt_frees_the_slot_without_touching_the_queue() {
+        let (mut ctx, model) = setup();
+        let mut s = DecodeSession::new(&mut ctx, &model, &[2u32, 10], 1, 32).unwrap();
+        let a = s.admit(50, 6).unwrap();
+        let b = s.admit(51, 4).unwrap();
+        assert_eq!(s.queued_count(), 1);
+        // Preempting does NOT promote the queued sequence: the slot is
+        // reserved for the preempting caller.
+        let p = s.preempt(a).unwrap();
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.queued_count(), 1);
+        assert!(s.has_free_slot());
+        // Only active decodes can be preempted.
+        assert!(s.preempt(b).is_err());
+        assert!(s.preempt(99).is_err());
+        // Resume takes the slot back; the queued sequence keeps waiting.
+        s.resume(&p).unwrap();
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.queued_count(), 1);
+        // With the slot occupied again, a second resume has nowhere to go.
+        assert!(s.resume(&p).is_err());
+        drain(&mut s, &mut ctx, 16);
+        assert_eq!(s.finished().len(), 2);
         s.release(&mut ctx);
     }
 

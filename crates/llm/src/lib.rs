@@ -37,7 +37,7 @@ pub mod tokenizer;
 pub mod weights;
 
 pub use config::{ModelConfig, ModelId};
-pub use decode_session::{DecodeSession, FinishedSeq, SeqId};
+pub use decode_session::{DecodeSession, FinishedSeq, PreemptedSeq, SeqId};
 pub use kv_cache::{KvCache, KvSeqSnapshot};
 pub use model::{DecodeOutput, LayerSchedule, Model, StepCost};
 pub use overlap::{DispatchMode, LayerStage, StepStages};

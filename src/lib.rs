@@ -34,7 +34,7 @@ pub use ttscale;
 /// The most commonly used items across the stack.
 pub mod prelude {
     pub use edgellm::config::{ModelConfig, ModelId};
-    pub use edgellm::decode_session::{DecodeSession, SeqId};
+    pub use edgellm::decode_session::{DecodeSession, PreemptedSeq, SeqId};
     pub use edgellm::kv_cache::KvCache;
     pub use edgellm::model::{LayerSchedule, Model};
     pub use edgellm::overlap::DispatchMode;

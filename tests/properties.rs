@@ -208,14 +208,16 @@ proptest! {
     }
 
     /// Under random interleavings of plain admits, chunked prompt admits,
-    /// decode/prefill steps and early-EOS retires, the session conserves
-    /// sequences — `active + queued + prefilling + finished` equals the
-    /// number admitted after every operation — and KV slot accounting
-    /// never leaks: the DDR mapping stays flat while sequences churn and
-    /// drops back to the model-only footprint on release.
+    /// decode/prefill steps, early-EOS retires, and mid-stream
+    /// preempt/resume, the session conserves sequences —
+    /// `active + queued + prefilling + held-preempted + finished` equals
+    /// the number admitted after every operation — and KV slot accounting
+    /// never leaks: the DDR mapping stays flat while sequences churn
+    /// (snapshots live on the host, not in DDR) and drops back to the
+    /// model-only footprint on release.
     #[test]
     fn decode_session_conserves_sequences_under_random_admit_retire(
-        ops in prop::collection::vec(0u8..4, 24),
+        ops in prop::collection::vec(0u8..6, 24),
         seed in 0u64..1000
     ) {
         use npuscale_repro::prelude::*;
@@ -234,6 +236,7 @@ proptest! {
 
         let mut admitted = 0usize;
         let mut live: BTreeSet<SeqId> = BTreeSet::new();
+        let mut held: Vec<PreemptedSeq> = Vec::new();
         let mut counter = seed as u32;
         let is_eos = |t: u32| t.is_multiple_of(5);
         let run_step = |session: &mut DecodeSession,
@@ -283,7 +286,7 @@ proptest! {
                         }
                     }
                 }
-                _ => {
+                3 => {
                     // Retire a deterministic live victim — may be active,
                     // queued, or mid-prefill.
                     let victims: Vec<SeqId> = live.iter().copied().collect();
@@ -292,15 +295,39 @@ proptest! {
                         session.retire(pick).unwrap();
                     }
                 }
+                4 => {
+                    // Preempt a deterministic active decode: its KV rows
+                    // snapshot to the host, the slot frees, and the
+                    // sequence is held outside the session.
+                    let ids = session.active_ids();
+                    if !ids.is_empty() {
+                        let pick = ids[(n + seed as usize) % ids.len()];
+                        let paused = session.preempt(pick).unwrap();
+                        live.remove(&pick);
+                        held.push(paused);
+                    }
+                }
+                _ => {
+                    // Resume the most recently held sequence once a slot
+                    // is free.
+                    if session.has_free_slot() {
+                        if let Some(paused) = held.pop() {
+                            let id = session.resume(&paused).unwrap();
+                            live.insert(id);
+                        }
+                    }
+                }
             }
             for f in session.finished() {
                 live.remove(&f.id);
             }
-            // Conservation: nothing is ever lost or double-counted.
+            // Conservation: nothing is ever lost or double-counted —
+            // held-preempted sequences count toward the total.
             prop_assert_eq!(
                 session.active_count()
                     + session.queued_count()
                     + session.prefilling_count()
+                    + held.len()
                     + session.finished().len(),
                 admitted,
                 "op {} ({})", n, op
@@ -309,9 +336,16 @@ proptest! {
             // KV never leaks while sequences churn through the slots.
             prop_assert_eq!(ctx.ddr_mapped_bytes(), ddr_serving, "op {}", n);
         }
-        // Drain whatever is still in flight.
+        // Drain whatever is still in flight, resuming held sequences as
+        // slots free up.
         let mut guard = 0usize;
-        while session.active_count() + session.prefilling_count() > 0 {
+        while session.active_count() + session.prefilling_count() > 0 || !held.is_empty() {
+            if !held.is_empty() && session.has_free_slot() {
+                let paused = held.pop().unwrap();
+                let id = session.resume(&paused).unwrap();
+                live.insert(id);
+                continue;
+            }
             run_step(&mut session, &mut ctx, &mut counter).unwrap();
             guard += 1;
             prop_assert!(guard < 1000, "failed to drain");
@@ -322,6 +356,69 @@ proptest! {
         prop_assert_eq!(finished.len(), admitted);
         // Releasing the session returns DDR to the model-only footprint.
         prop_assert_eq!(ctx.ddr_mapped_bytes(), ddr_model_only);
+    }
+
+    /// Pausing decodes at arbitrary step indices — while queued
+    /// sequences churn through the freed slots and change the batch
+    /// composition — and resuming them later yields, for every sequence,
+    /// exactly the token stream of an uninterrupted greedy run: the KV
+    /// snapshot/restore round-trip is bit-exact under any interleaving.
+    #[test]
+    fn preempt_resume_decode_is_bit_identical(
+        pause_after in prop::collection::vec(1usize..12, 3),
+        lens3 in prop::collection::vec(2usize..8, 3),
+        seed in 0u64..500
+    ) {
+        use npuscale_repro::prelude::*;
+        use std::collections::HashMap;
+
+        let mut ctx = NpuContext::new(DeviceProfile::v75(), ExecMode::Functional);
+        let model = Model::new(&mut ctx, ModelId::Tiny, DequantVariant::CoalescedLut, 7).unwrap();
+        let prompt = Tokenizer::new().encode_with_bos("2*3=");
+        let greedy = |logits: &[f32]| -> u32 {
+            logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0 as u32
+        };
+        let budget = 2 * (prompt.len() + 8 + 2) + prompt.len();
+        let run = |ctx: &mut NpuContext,
+                       pauses: Option<&[usize]>|
+         -> SimResult<HashMap<SeqId, Vec<u32>>> {
+            let mut s = DecodeSession::new(ctx, &model, &prompt, 2, budget)?;
+            for (i, &len) in lens3.iter().enumerate() {
+                s.admit(60 + ((seed as u32 + i as u32) % 8), len)?;
+            }
+            let mut held: Vec<PreemptedSeq> = Vec::new();
+            let mut steps = 0usize;
+            let mut guard = 0usize;
+            while s.active_count() > 0 || !held.is_empty() {
+                guard += 1;
+                assert!(guard < 500, "session failed to drain");
+                if !held.is_empty() && s.has_free_slot() {
+                    let paused = held.pop().unwrap();
+                    s.resume(&paused)?;
+                    continue;
+                }
+                if s.active_count() > 0 {
+                    s.step(ctx, |_, logits| greedy(logits))?;
+                    steps += 1;
+                    if pauses.is_some_and(|ps| ps.contains(&steps)) {
+                        let ids = s.active_ids();
+                        if !ids.is_empty() {
+                            let pick = ids[(steps + seed as usize) % ids.len()];
+                            held.push(s.preempt(pick)?);
+                        }
+                    }
+                }
+            }
+            Ok(s.into_finished(ctx).into_iter().map(|f| (f.id, f.tokens)).collect())
+        };
+        let uninterrupted = run(&mut ctx, None).unwrap();
+        let preempted = run(&mut ctx, Some(&pause_after)).unwrap();
+        prop_assert_eq!(uninterrupted, preempted);
     }
 }
 
